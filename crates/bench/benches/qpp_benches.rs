@@ -1,0 +1,122 @@
+//! Criterion micro-benchmarks for the operational path: what it costs to
+//! plan, simulate, extract features, train models and make predictions.
+//!
+//! These quantify the paper's deployability argument — prediction from
+//! static features must be orders of magnitude cheaper than running the
+//! query.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use engine::{Catalog, Planner, Simulator};
+use qpp::op_model::{OpLevelModel, OpModelConfig};
+use qpp::plan_model::{PlanLevelModel, PlanModelConfig};
+use qpp::{ExecutedQuery, FeatureSource, QueryDataset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tpch::Workload;
+
+fn small_dataset() -> QueryDataset {
+    let catalog = Catalog::new(0.1, 1);
+    let workload = Workload::generate(&[1, 3, 6, 14], 10, 0.1, 7);
+    QueryDataset::execute(&catalog, &workload, &Simulator::new(), 11, f64::INFINITY)
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let catalog = Catalog::new(1.0, 1);
+    let planner = Planner::new(&catalog);
+    let mut rng = StdRng::seed_from_u64(3);
+    let spec = tpch::instantiate(5, 1.0, &mut rng);
+    c.bench_function("planner/plan_template_5", |b| {
+        b.iter(|| std::hint::black_box(planner.plan(&spec)))
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let catalog = Catalog::new(1.0, 1);
+    let planner = Planner::new(&catalog);
+    let mut rng = StdRng::seed_from_u64(3);
+    let plan = planner.plan(&tpch::instantiate(5, 1.0, &mut rng));
+    let sim = Simulator::new();
+    c.bench_function("simulator/execute_template_5", |b| {
+        b.iter(|| std::hint::black_box(sim.execute(&plan, 1.0, 9)))
+    });
+}
+
+fn bench_features(c: &mut Criterion) {
+    let ds = small_dataset();
+    let q = &ds.queries[0];
+    c.bench_function("features/plan_level_extraction", |b| {
+        b.iter(|| {
+            let views = q.views(FeatureSource::Estimated);
+            std::hint::black_box(qpp::plan_features(&q.plan, &views))
+        })
+    });
+}
+
+fn bench_training(c: &mut Criterion) {
+    let ds = small_dataset();
+    let refs: Vec<&ExecutedQuery> = ds.queries.iter().collect();
+    c.bench_function("train/plan_level_40_queries", |b| {
+        b.iter_batched(
+            || refs.clone(),
+            |r| std::hint::black_box(PlanLevelModel::train(&r, &PlanModelConfig::default())),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("train/op_level_40_queries", |b| {
+        b.iter_batched(
+            || refs.clone(),
+            |r| std::hint::black_box(OpLevelModel::train(&r, &OpModelConfig::default())),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let ds = small_dataset();
+    let refs: Vec<&ExecutedQuery> = ds.queries.iter().collect();
+    let plan_model = PlanLevelModel::train(&refs, &PlanModelConfig::default()).unwrap();
+    let op_model = OpLevelModel::train(&refs, &OpModelConfig::default()).unwrap();
+    let q = refs[0];
+    c.bench_function("predict/plan_level", |b| {
+        b.iter(|| std::hint::black_box(plan_model.predict(q)))
+    });
+    c.bench_function("predict/operator_level", |b| {
+        b.iter(|| std::hint::black_box(op_model.predict(q)))
+    });
+}
+
+fn bench_subplan_index(c: &mut Criterion) {
+    let ds = small_dataset();
+    let plans: Vec<(u8, &engine::PlanNode)> =
+        ds.queries.iter().map(|q| (q.template, &q.plan)).collect();
+    c.bench_function("subplan/index_40_plans", |b| {
+        b.iter(|| std::hint::black_box(qpp::SubplanIndex::build(&plans, 2)))
+    });
+}
+
+fn bench_ml(c: &mut Criterion) {
+    use ml::{Dataset, Learner, LearnerKind};
+    let mut rng = StdRng::seed_from_u64(4);
+    use rand::Rng;
+    let rows: Vec<Vec<f64>> = (0..200)
+        .map(|_| (0..8).map(|_| rng.gen_range(0.0..10.0)).collect())
+        .collect();
+    let y: Vec<f64> = rows.iter().map(|r| r.iter().sum::<f64>() * 2.0 + 1.0).collect();
+    let x = Dataset::from_rows(rows);
+    c.bench_function("ml/linreg_fit_200x8", |b| {
+        b.iter(|| std::hint::black_box(LearnerKind::Linear { ridge: 1e-6 }.fit(&x, &y)))
+    });
+    c.bench_function("ml/svr_fit_200x8", |b| {
+        b.iter(|| {
+            std::hint::black_box(LearnerKind::Svr(ml::SvrParams::default()).fit(&x, &y))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_planner, bench_simulator, bench_features, bench_training,
+              bench_prediction, bench_subplan_index, bench_ml
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Developer tool: inspect sub-plan transfer for one held-out template.
+
+use qpp::op_model::{OpLevelModel, OpModelConfig};
+use qpp::subplan::{structure_key, SubplanIndex, describe};
+use qpp_bench::build_dataset_sized;
+
+fn main() {
+    let held: u8 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let ds = build_dataset_sized(10.0, &tpch::TWELVE, 20);
+    let (train, test) = ds.leave_template_out(held);
+    let plans: Vec<(u8, &engine::PlanNode)> = train.iter().map(|q| (q.template, &q.plan)).collect();
+    let index = SubplanIndex::build(&plans, 2);
+    let q = test[0];
+    println!("held-out t{held}; test plan:\n{}", engine::explain(&q.plan));
+    let op = OpLevelModel::train(&train, &OpModelConfig::default()).unwrap();
+    let views = q.views(op.source());
+    let composed = op.predict_plan(&q.plan, &views);
+    let nodes = q.plan.preorder();
+    for (i, n) in nodes.iter().enumerate() {
+        let key = structure_key(n);
+        let freq = index.get(key).map(|s| s.frequency()).unwrap_or(0);
+        let tmpls = index.get(key).map(|s| s.templates.clone()).unwrap_or_default();
+        let actual = q.trace.timings[i].run;
+        let pred = composed.node_times[i].1;
+        println!(
+            "[{i:>2}] size {:>2} freq {:>3} templates {:?} actual {:>9.2}s op-pred {:>9.2}s  {}",
+            n.node_count(), freq, tmpls, actual, pred,
+            if n.node_count() >= 2 { describe(n) } else { String::new() }
+        );
+    }
+    let _ = train;
+}

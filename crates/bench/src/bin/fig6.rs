@@ -1,0 +1,105 @@
+//! Figure 6 — static workload experiments.
+//!
+//! Reproduces all six panels: plan-level per-template errors and
+//! actual-vs-estimate scatter at 10 GB and 1 GB (panels a–c), and the
+//! operator-level equivalents over the 14-template subset (panels d–f).
+//!
+//! Usage: `fig6 [panel|all] [--sf10 N] [--per-template N]`
+//! where panel ∈ {a, b, c, d, e, f}.
+
+use qpp::op_model::OpModelConfig;
+use qpp::plan_model::PlanModelConfig;
+use qpp_bench::report::{print_scatter, print_template_errors};
+use qpp_bench::{build_dataset_sized, op_level_cv, plan_level_cv, PER_TEMPLATE};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let panel = args.get(1).map(String::as_str).unwrap_or("all").to_string();
+    let per_template = arg_value(&args, "--per-template").unwrap_or(PER_TEMPLATE);
+
+    let want = |p: &str| panel == "all" || panel == p;
+
+    if want("a") || want("b") {
+        let ds = build_dataset_sized(10.0, &tpch::EIGHTEEN, per_template);
+        let out = plan_level_cv(&ds, &PlanModelConfig::default());
+        if want("a") {
+            print_template_errors(
+                "Fig 6(a): plan-level, errors by template (10GB)",
+                &out.per_template_errors(),
+            );
+            println!("overall mean relative error: {:.2}%", out.overall_error() * 100.0);
+            println!("(paper: avg 6.75%, template 9 spikes to 80.1%)");
+            print_timeouts(&ds);
+        }
+        if want("b") {
+            let pairs: Vec<(f64, f64)> = out.rows.iter().map(|r| (r.1, r.2)).collect();
+            print_scatter("Fig 6(b): plan-level prediction scatter (10GB)", &pairs, 40);
+        }
+    }
+    if want("c") {
+        let ds = build_dataset_sized(1.0, &tpch::EIGHTEEN, per_template);
+        let out = plan_level_cv(&ds, &PlanModelConfig::default());
+        print_template_errors(
+            "Fig 6(c): plan-level, errors by template (1GB)",
+            &out.per_template_errors(),
+        );
+        println!("overall mean relative error: {:.2}%", out.overall_error() * 100.0);
+        println!("(paper: avg 17.43%, spikes 75.5 / 89.7)");
+    }
+    if want("d") || want("e") {
+        let ds = build_dataset_sized(10.0, &tpch::FOURTEEN, per_template);
+        let out = op_level_cv(&ds, &OpModelConfig::default());
+        if want("d") {
+            print_template_errors(
+                "Fig 6(d): operator-level, errors by template (10GB)",
+                &out.per_template_errors(),
+            );
+            let (n, avg) = out.below_threshold(0.2);
+            println!(
+                "{n} of 14 templates below 20% error; their mean: {:.2}%",
+                avg * 100.0
+            );
+            println!("overall mean relative error: {:.2}%", out.overall_error() * 100.0);
+            println!("(paper: 11 of 14 below 20%, mean 7.3%; overall 53.92%)");
+        }
+        if want("e") {
+            let pairs: Vec<(f64, f64)> = out.rows.iter().map(|r| (r.1, r.2)).collect();
+            print_scatter(
+                "Fig 6(e): operator-level prediction scatter (10GB)",
+                &pairs,
+                40,
+            );
+        }
+    }
+    if want("f") {
+        let ds = build_dataset_sized(1.0, &tpch::FOURTEEN, per_template);
+        let out = op_level_cv(&ds, &OpModelConfig::default());
+        print_template_errors(
+            "Fig 6(f): operator-level, errors by template (1GB)",
+            &out.per_template_errors(),
+        );
+        let (n, avg) = out.below_threshold(0.25);
+        println!(
+            "{n} of 14 templates below 25% error; their mean: {:.2}%",
+            avg * 100.0
+        );
+        println!("overall mean relative error: {:.2}%", out.overall_error() * 100.0);
+        println!("(paper: 8 templates below 25% with mean 16.45%; overall 59.57%)");
+    }
+}
+
+fn print_timeouts(ds: &qpp::QueryDataset) {
+    if !ds.timed_out.is_empty() {
+        println!("queries dropped at the 1-hour limit:");
+        for (t, n) in &ds.timed_out {
+            println!("  template {t}: {n} (kept {})", PER_TEMPLATE - n);
+        }
+    }
+}
+
+fn arg_value(args: &[String], name: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}

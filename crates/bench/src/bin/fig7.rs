@@ -1,0 +1,123 @@
+//! Figure 7 — impact of estimation errors (Section 5.3.3).
+//!
+//! Trains and tests plan- and operator-level models over the four
+//! combinations of actual and estimated feature values at 10 GB:
+//!
+//! - actual/actual — the (non-deployable) upper bound;
+//! - estimate/estimate — the configuration used everywhere else;
+//! - actual/estimate — training on clean values, testing on noisy ones:
+//!   the worst of the three, because the model never learned to correct
+//!   the optimizer's systematic errors.
+//!
+//! Panel (b) shows the plan-level per-template errors for actual/actual.
+
+use ml::cv::stratified_kfold;
+use qpp::op_model::{OpLevelModel, OpModelConfig};
+use qpp::plan_model::{PlanLevelModel, PlanModelConfig};
+use qpp::{ExecutedQuery, FeatureSource, QueryDataset};
+use qpp_bench::report::print_template_errors;
+use qpp_bench::{build_dataset_sized, CvOutcome, CV_FOLDS, PER_TEMPLATE};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let panel = args.get(1).map(String::as_str).unwrap_or("all").to_string();
+    let per_template = args
+        .iter()
+        .position(|a| a == "--per-template")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(PER_TEMPLATE);
+    let want = |p: &str| panel == "all" || panel == p;
+
+    if want("a") {
+        println!("== Fig 7(a): train/test feature sources, mean relative error (%) ==\n");
+        println!(
+            "{:<20} {:>12} {:>12}",
+            "train/test", "plan-level", "op-level"
+        );
+        let plan_ds = build_dataset_sized(10.0, &tpch::EIGHTEEN, per_template);
+        let op_ds = build_dataset_sized(10.0, &tpch::FOURTEEN, per_template);
+        for (label, train_src, test_src) in [
+            ("actual/actual", FeatureSource::Actual, FeatureSource::Actual),
+            (
+                "estimate/estimate",
+                FeatureSource::Estimated,
+                FeatureSource::Estimated,
+            ),
+            (
+                "actual/estimate",
+                FeatureSource::Actual,
+                FeatureSource::Estimated,
+            ),
+        ] {
+            let plan_err = plan_cv(&plan_ds, train_src, test_src).overall_error() * 100.0;
+            let op_err = op_cv(&op_ds, train_src, test_src).overall_error() * 100.0;
+            println!("{label:<20} {plan_err:>12.2} {op_err:>12.2}");
+        }
+        println!(
+            "\n(paper: actual/actual best, estimate/estimate a modest step behind,\n\
+             actual/estimate much worse — models absorb systematic estimation\n\
+             errors during training)"
+        );
+    }
+    if want("b") {
+        let ds = build_dataset_sized(10.0, &tpch::EIGHTEEN, per_template);
+        let out = plan_cv(&ds, FeatureSource::Actual, FeatureSource::Actual);
+        print_template_errors(
+            "Fig 7(b): plan-level with actual values (10GB)",
+            &out.per_template_errors(),
+        );
+        println!("overall mean relative error: {:.2}%", out.overall_error() * 100.0);
+        println!("(paper: comparable to Fig 6(a), slightly better; one 54.4% spike)");
+    }
+}
+
+/// Plan-level CV with distinct train/test feature sources.
+fn plan_cv(ds: &QueryDataset, train_src: FeatureSource, test_src: FeatureSource) -> CvOutcome {
+    let strata = ds.strata();
+    let folds = stratified_kfold(&strata, CV_FOLDS, 42);
+    let mut rows = vec![(0u8, 0.0, 0.0); ds.len()];
+    for fold in &folds {
+        let train: Vec<&ExecutedQuery> = ds.subset(&fold.train);
+        let config = PlanModelConfig {
+            source: train_src,
+            ..PlanModelConfig::default()
+        };
+        let model = PlanLevelModel::train(&train, &config).expect("plan-level");
+        for &i in &fold.test {
+            let q = &ds.queries[i];
+            let views = q.views(test_src);
+            rows[i] = (
+                q.template,
+                q.latency(),
+                model.predict_plan(&q.plan, &views),
+            );
+        }
+    }
+    CvOutcome { rows }
+}
+
+/// Operator-level CV with distinct train/test feature sources.
+fn op_cv(ds: &QueryDataset, train_src: FeatureSource, test_src: FeatureSource) -> CvOutcome {
+    let strata = ds.strata();
+    let folds = stratified_kfold(&strata, CV_FOLDS, 17);
+    let mut rows = vec![(0u8, 0.0, 0.0); ds.len()];
+    for fold in &folds {
+        let train: Vec<&ExecutedQuery> = ds.subset(&fold.train);
+        let config = OpModelConfig {
+            source: train_src,
+            ..OpModelConfig::default()
+        };
+        let model = OpLevelModel::train(&train, &config).expect("op-level");
+        for &i in &fold.test {
+            let q = &ds.queries[i];
+            let views = q.views(test_src);
+            rows[i] = (
+                q.template,
+                q.latency(),
+                model.predict_plan(&q.plan, &views).node_times[0].1,
+            );
+        }
+    }
+    CvOutcome { rows }
+}

@@ -1,0 +1,112 @@
+//! Figure 9 — dynamic workload prediction.
+//!
+//! Leave-one-template-out over the 12-template subset at 10 GB: for each
+//! template, train on the other 11 and predict the held-out one with
+//! plan-level, operator-level, hybrid (error-based and size-based) and
+//! online models. The paper's shape: plan-level fails across the board;
+//! online is best everywhere except template 7; size-based ≥ error-based.
+
+use ml::metrics::mean_relative_error;
+use qpp::hybrid::{train_hybrid, HybridConfig, HybridModel, PlanOrdering};
+use qpp::online::{OnlineConfig, OnlinePredictor};
+use qpp::op_model::{OpLevelModel, OpModelConfig};
+use qpp::plan_model::{PlanLevelModel, PlanModelConfig};
+use qpp_bench::{build_dataset_sized, PER_TEMPLATE};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let per_template = args
+        .iter()
+        .position(|a| a == "--per-template")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(PER_TEMPLATE);
+
+    let ds = build_dataset_sized(10.0, &tpch::TWELVE, per_template);
+    println!("== Fig 9: dynamic workload (leave-one-template-out, 10GB) ==");
+    println!("mean relative error (%) on the held-out template\n");
+    println!(
+        "{:<10} {:>11} {:>9} {:>12} {:>11} {:>8}",
+        "template", "plan-level", "op-level", "error-based", "size-based", "online"
+    );
+
+    let mut sums = [0.0f64; 5];
+    let mut n_rows = 0usize;
+    for &held_out in &tpch::TWELVE {
+        let (train, test) = ds.leave_template_out(held_out);
+        if test.is_empty() {
+            continue;
+        }
+        let actual: Vec<f64> = test.iter().map(|q| q.latency()).collect();
+        let err = |preds: &[f64]| mean_relative_error(&actual, preds) * 100.0;
+
+        let plan_model =
+            PlanLevelModel::train(&train, &PlanModelConfig::default()).expect("plan-level");
+        let plan_err = err(&test.iter().map(|q| plan_model.predict(q)).collect::<Vec<_>>());
+
+        let op_model = OpLevelModel::train(&train, &OpModelConfig::default()).expect("op-level");
+        let op_err = err(&test.iter().map(|q| op_model.predict(q)).collect::<Vec<_>>());
+
+        let mut strat_errs = Vec::new();
+        let mut last_hybrid: Option<HybridModel> = None;
+        for strategy in [PlanOrdering::ErrorBased, PlanOrdering::SizeBased] {
+            let config = HybridConfig {
+                strategy,
+                max_iterations: 20,
+                ..HybridConfig::default()
+            };
+            let (hybrid, _) =
+                train_hybrid(&train, op_model.clone(), &config).expect("hybrid");
+            strat_errs.push(err(&test
+                .iter()
+                .map(|q| hybrid.predict(q))
+                .collect::<Vec<_>>()));
+            last_hybrid = Some(hybrid);
+        }
+
+        // Online builds on the pre-built hybrid models plus per-query
+        // fragments of the incoming plans.
+        let base = last_hybrid.expect("hybrid trained");
+        let mut online = OnlinePredictor::new(
+            train.clone(),
+            base,
+            OnlineConfig::default(),
+        );
+        let online_err = err(&test
+            .iter()
+            .map(|q| online.predict_query(q))
+            .collect::<Vec<_>>());
+
+        println!(
+            "{:<10} {:>11.1} {:>9.1} {:>12.1} {:>11.1} {:>8.1}",
+            format!("t{held_out}"),
+            plan_err,
+            op_err,
+            strat_errs[0],
+            strat_errs[1],
+            online_err
+        );
+        for (i, v) in [plan_err, op_err, strat_errs[0], strat_errs[1], online_err]
+            .into_iter()
+            .enumerate()
+        {
+            sums[i] += v;
+        }
+        n_rows += 1;
+        let _ = test;
+    }
+    let _ = &mut sums;
+    println!(
+        "{:<10} {:>11.1} {:>9.1} {:>12.1} {:>11.1} {:>8.1}",
+        "AVG",
+        sums[0] / n_rows as f64,
+        sums[1] / n_rows as f64,
+        sums[2] / n_rows as f64,
+        sums[3] / n_rows as f64,
+        sums[4] / n_rows as f64
+    );
+    println!(
+        "\n(paper: plan-level poor across the board; online best everywhere\n\
+         except template 7; size-based somewhat better than error-based)"
+    );
+}

@@ -1,0 +1,34 @@
+//! Developer tool: survey simulated latencies per template and scale factor.
+
+use engine::{Catalog, Planner, Simulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sf: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let catalog = Catalog::new(sf, 1);
+    let planner = Planner::new(&catalog);
+    let sim = Simulator::new();
+    println!("template  min(s)    med(s)    max(s)   plan_ops  root_op");
+    for t in tpch::ALL_TEMPLATES {
+        let mut rng = StdRng::seed_from_u64(77 + t as u64);
+        let mut times = Vec::new();
+        let mut ops = 0;
+        let mut root = String::new();
+        for i in 0..n {
+            let spec = tpch::instantiate(t, sf, &mut rng);
+            let plan = planner.plan(&spec);
+            ops = plan.node_count();
+            root = plan.op.name().to_string();
+            let tr = sim.execute(&plan, sf, 1000 * t as u64 + i as u64);
+            times.push(tr.total_secs);
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        println!(
+            "t{:<7} {:>9.2} {:>9.2} {:>9.2}  {:>7}  {}",
+            t, times[0], times[n / 2], times[n - 1], ops, root
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Runs every experiment in DESIGN.md's index at full paper scale and
+//! prints the combined report (tee it into EXPERIMENTS.md's measured
+//! column).
+//!
+//! ```text
+//! cargo run --release -p qpp-bench --bin repro_all [--per-template N]
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let run = |bin: &str, extra: &[&str]| {
+        println!("\n################ {bin} {} ################", extra.join(" "));
+        let status = Command::new(exe_dir.join(bin))
+            .args(extra)
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+        }
+    };
+
+    run("fig5", &[]);
+    run("fig6", &["all"]);
+    run("fig7", &["all"]);
+    run("fig8", &[]);
+    run("fig9", &[]);
+    run("fig4", &["all"]);
+    run("hybrid_example", &[]);
+    run("ablation", &["all"]);
+}

@@ -1,0 +1,27 @@
+//! Developer tool: distribution of template-9 latencies at a scale factor.
+
+use engine::{Catalog, Planner, Simulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let sf: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10.0);
+    let catalog = Catalog::new(sf, 1);
+    let planner = Planner::new(&catalog);
+    let sim = Simulator::new();
+    let mut rng = StdRng::seed_from_u64(86);
+    let mut times = Vec::new();
+    for i in 0..55 {
+        let spec = tpch::instantiate(9, sf, &mut rng);
+        let plan = planner.plan(&spec);
+        let t = sim.execute(&plan, sf, 9000 + i).total_secs;
+        let color = spec.params[0].1.clone();
+        times.push((t, color));
+    }
+    times.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let under = times.iter().filter(|(t, _)| *t < 3600.0).count();
+    println!("{} of 55 under 3600s", under);
+    for (t, c) in &times {
+        println!("{:>10.1}s  color={}", t, c);
+    }
+}

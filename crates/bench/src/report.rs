@@ -1,0 +1,81 @@
+//! Plain-text reporting helpers shared by the figure binaries.
+
+/// Prints a per-template error table in the paper's bar-plot layout
+/// (errors in percent, capped values flagged like the paper's plots).
+pub fn print_template_errors(title: &str, errors: &[(u8, f64)]) {
+    println!("\n== {title} ==");
+    println!("{:<10} {:>12}", "template", "rel.err (%)");
+    for (t, e) in errors {
+        let pct = e * 100.0;
+        if pct > 50.0 {
+            println!("{:<10} {:>12.1}  (beyond 50% plot cap)", format!("t{t}"), pct);
+        } else {
+            println!("{:<10} {:>12.1}", format!("t{t}"), pct);
+        }
+    }
+    let avg = errors.iter().map(|(_, e)| e).sum::<f64>() / errors.len() as f64;
+    println!("{:<10} {:>12.1}", "AVG", avg * 100.0);
+}
+
+/// Prints an (x, y) series for a line plot.
+pub fn print_series(title: &str, x_label: &str, y_label: &str, series: &[(f64, f64)]) {
+    println!("\n== {title} ==");
+    println!("{:<14} {:>14}", x_label, y_label);
+    for (x, y) in series {
+        println!("{x:<14.3} {y:>14.4}");
+    }
+}
+
+/// Prints a scatter of (actual, estimate) pairs, ordered by actual — the
+/// paper's Figure 5 / 6(b) / 6(e) data.
+pub fn print_scatter(title: &str, pairs: &[(f64, f64)], max_rows: usize) {
+    println!("\n== {title} ==");
+    println!("{:<16} {:>16}", "actual (s)", "estimate (s)");
+    let mut sorted = pairs.to_vec();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let stride = (sorted.len() / max_rows.max(1)).max(1);
+    for (i, (a, e)) in sorted.iter().enumerate() {
+        if i % stride == 0 {
+            println!("{a:<16.2} {e:>16.2}");
+        }
+    }
+    println!("({} points total, printed every {})", sorted.len(), stride);
+}
+
+/// Prints an (x, y) scatter with custom axis labels, ordered by x.
+pub fn print_xy(title: &str, x_label: &str, y_label: &str, pairs: &[(f64, f64)], max_rows: usize) {
+    println!("\n== {title} ==");
+    println!("{x_label:<16} {y_label:>16}");
+    let mut sorted = pairs.to_vec();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let stride = (sorted.len() / max_rows.max(1)).max(1);
+    for (i, (x, y)) in sorted.iter().enumerate() {
+        if i % stride == 0 {
+            println!("{x:<16.2} {y:>16.2}");
+        }
+    }
+    println!("({} points total, printed every {})", sorted.len(), stride);
+}
+
+/// Formats a seconds value compactly.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 3600.0 {
+        format!("{:.1}h", s / 3600.0)
+    } else if s >= 60.0 {
+        format!("{:.1}m", s / 60.0)
+    } else {
+        format!("{s:.1}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_secs_scales() {
+        assert_eq!(fmt_secs(5.0), "5.0s");
+        assert_eq!(fmt_secs(120.0), "2.0m");
+        assert_eq!(fmt_secs(7200.0), "2.0h");
+    }
+}

@@ -1,0 +1,273 @@
+//! Static feature extraction — the paper's Tables 1 and 2.
+//!
+//! All features are *compile-time* quantities read from the planned tree:
+//! optimizer cost/cardinality estimates and plan structure. For the
+//! Section 5.3.3 experiment, the same extractors can read the
+//! *actual*-valued annotations instead (true cardinalities and re-costed
+//! values), selected by [`FeatureSource`].
+
+use engine::plan::{OpType, PlanNode, ALL_OP_TYPES};
+use engine::recost::TruthCosts;
+
+/// Which annotation side feature values are read from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum FeatureSource {
+    /// Optimizer estimates (the deployable configuration).
+    Estimated,
+    /// True cardinalities and re-costed values (Section 5.3.3's
+    /// actual-value experiments; not available before execution).
+    Actual,
+}
+
+/// A view of one node's feature values under a [`FeatureSource`].
+#[derive(Debug, Clone, Copy)]
+pub struct NodeView {
+    /// Output rows.
+    pub rows: f64,
+    /// Output width (bytes).
+    pub width: f64,
+    /// I/O pages attributed to the node.
+    pub pages: f64,
+    /// Selectivity applied at the node.
+    pub selectivity: f64,
+    /// Startup cost.
+    pub startup_cost: f64,
+    /// Total cost.
+    pub total_cost: f64,
+}
+
+/// Resolves per-node views for a whole plan (pre-order).
+///
+/// For [`FeatureSource::Actual`], `truth_costs` must be supplied (from
+/// [`engine::recost::recost_truth`]).
+pub fn node_views(
+    plan: &PlanNode,
+    source: FeatureSource,
+    truth_costs: Option<&TruthCosts>,
+) -> Vec<NodeView> {
+    let nodes = plan.preorder();
+    match source {
+        FeatureSource::Estimated => nodes
+            .iter()
+            .map(|n| NodeView {
+                rows: n.est.rows,
+                width: n.est.width,
+                pages: n.est.pages,
+                selectivity: n.est.selectivity,
+                startup_cost: n.est.startup_cost,
+                total_cost: n.est.total_cost,
+            })
+            .collect(),
+        FeatureSource::Actual => {
+            let tc = truth_costs.expect("actual features require truth costs");
+            assert_eq!(tc.costs.len(), nodes.len(), "truth costs misaligned");
+            nodes
+                .iter()
+                .zip(&tc.costs)
+                .map(|(n, (s, t))| NodeView {
+                    rows: n.truth.rows,
+                    width: n.est.width,
+                    pages: n.truth.pages,
+                    selectivity: n.truth.selectivity,
+                    startup_cost: *s,
+                    total_cost: *t,
+                })
+                .collect()
+        }
+    }
+}
+
+/// Number of plan-level features (Table 1): 7 global + 2 per operator type.
+pub fn plan_feature_count() -> usize {
+    7 + 2 * ALL_OP_TYPES.len()
+}
+
+/// Names of the plan-level features, aligned with
+/// [`plan_features`]' output order.
+pub fn plan_feature_names() -> Vec<String> {
+    let mut names = vec![
+        "p_tot_cost".to_string(),
+        "p_st_cost".to_string(),
+        "p_rows".to_string(),
+        "p_width".to_string(),
+        "op_count".to_string(),
+        "row_count".to_string(),
+        "byte_count".to_string(),
+    ];
+    for op in ALL_OP_TYPES {
+        names.push(format!("{}_cnt", op.name().replace(' ', "_").to_lowercase()));
+    }
+    for op in ALL_OP_TYPES {
+        names.push(format!("{}_rows", op.name().replace(' ', "_").to_lowercase()));
+    }
+    names
+}
+
+/// Extracts the Table-1 plan-level feature vector for (a sub-tree of) a
+/// plan. `views` must align with `plan.preorder()`.
+pub fn plan_features(plan: &PlanNode, views: &[NodeView]) -> Vec<f64> {
+    let nodes = plan.preorder();
+    assert_eq!(nodes.len(), views.len(), "views misaligned with plan");
+    let root = &views[0];
+    let mut cnt = [0.0f64; ALL_OP_TYPES.len()];
+    let mut rows_by_op = [0.0f64; ALL_OP_TYPES.len()];
+    let mut row_count = 0.0;
+    let mut byte_count = 0.0;
+    // Child-row lookup: each node's inputs are its children's outputs.
+    for (i, node) in nodes.iter().enumerate() {
+        let v = &views[i];
+        let k = node.op.index();
+        cnt[k] += 1.0;
+        rows_by_op[k] += v.rows;
+        row_count += v.rows;
+        byte_count += v.rows * v.width;
+    }
+    // Inputs: every non-root node's output is also some operator's input.
+    for (i, _) in nodes.iter().enumerate().skip(1) {
+        row_count += views[i].rows;
+        byte_count += views[i].rows * views[i].width;
+    }
+    let mut out = Vec::with_capacity(plan_feature_count());
+    out.push(root.total_cost);
+    out.push(root.startup_cost);
+    out.push(root.rows);
+    out.push(root.width);
+    out.push(nodes.len() as f64);
+    out.push(row_count);
+    out.push(byte_count);
+    out.extend_from_slice(&cnt);
+    out.extend_from_slice(&rows_by_op);
+    out
+}
+
+/// Names of the Table-2 operator-level features, aligned with
+/// [`op_features`].
+pub const OP_FEATURE_NAMES: [&str; 9] = [
+    "np", "nt", "nt1", "nt2", "sel", "st1", "rt1", "st2", "rt2",
+];
+
+/// Extracts the Table-2 operator-level feature vector for the node at
+/// pre-order position `idx`.
+///
+/// `child_times` supplies the (start, run) values of the node's children —
+/// observed values at training time, composed predictions at prediction
+/// time (Figure 2 of the paper).
+pub fn op_features(
+    node: &PlanNode,
+    view: &NodeView,
+    child_views: &[&NodeView],
+    child_times: &[(f64, f64)],
+) -> Vec<f64> {
+    let get_rows = |i: usize| child_views.get(i).map(|v| v.rows).unwrap_or(0.0);
+    let get_time = |i: usize| child_times.get(i).copied().unwrap_or((0.0, 0.0));
+    let _ = node;
+    vec![
+        view.pages,
+        view.rows,
+        get_rows(0),
+        get_rows(1),
+        view.selectivity,
+        get_time(0).0,
+        get_time(0).1,
+        get_time(1).0,
+        get_time(1).1,
+    ]
+}
+
+/// Convenience: which operator types appear in a plan (for diagnostics).
+pub fn op_histogram(plan: &PlanNode) -> Vec<(OpType, usize)> {
+    let mut cnt = [0usize; ALL_OP_TYPES.len()];
+    for n in plan.preorder() {
+        cnt[n.op.index()] += 1;
+    }
+    ALL_OP_TYPES
+        .iter()
+        .copied()
+        .zip(cnt)
+        .filter(|(_, c)| *c > 0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::{Catalog, Planner};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn plan(t: u8) -> PlanNode {
+        let catalog = Catalog::new(0.1, 1);
+        let planner = Planner::new(&catalog);
+        let mut rng = StdRng::seed_from_u64(4);
+        planner.plan(&tpch::instantiate(t, 0.1, &mut rng))
+    }
+
+    #[test]
+    fn plan_feature_vector_has_stable_shape() {
+        let p = plan(3);
+        let views = node_views(&p, FeatureSource::Estimated, None);
+        let f = plan_features(&p, &views);
+        assert_eq!(f.len(), plan_feature_count());
+        assert_eq!(f.len(), plan_feature_names().len());
+        // p_tot_cost is the root's total cost.
+        assert_eq!(f[0], p.est.total_cost);
+        // op_count matches the node count.
+        assert_eq!(f[4], p.node_count() as f64);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn operator_counts_sum_to_op_count() {
+        let p = plan(5);
+        let views = node_views(&p, FeatureSource::Estimated, None);
+        let f = plan_features(&p, &views);
+        let cnt_sum: f64 = f[7..7 + ALL_OP_TYPES.len()].iter().sum();
+        assert_eq!(cnt_sum, p.node_count() as f64);
+    }
+
+    #[test]
+    fn actual_views_differ_from_estimates_when_estimation_errs() {
+        let p = plan(18);
+        let est = node_views(&p, FeatureSource::Estimated, None);
+        let tc = engine::recost_truth(&p, 8.0 * 1024.0 * 1024.0);
+        let act = node_views(&p, FeatureSource::Actual, Some(&tc));
+        let est_f = plan_features(&p, &est);
+        let act_f = plan_features(&p, &act);
+        // Template 18's row features must differ strongly across sources.
+        assert!(
+            (est_f[5] - act_f[5]).abs() / act_f[5].max(1.0) > 0.2,
+            "est row_count {} vs actual {}",
+            est_f[5],
+            act_f[5]
+        );
+    }
+
+    #[test]
+    fn op_features_read_children() {
+        let p = plan(6);
+        let views = node_views(&p, FeatureSource::Estimated, None);
+        // Root is the ungrouped Aggregate; child is the scan.
+        let child_view = &views[1];
+        let f = op_features(
+            &p,
+            &views[0],
+            &[child_view],
+            &[(1.0, 5.0)],
+        );
+        assert_eq!(f.len(), OP_FEATURE_NAMES.len());
+        assert_eq!(f[2], child_view.rows); // nt1
+        assert_eq!(f[3], 0.0); // nt2: unary operator
+        assert_eq!(f[5], 1.0); // st1
+        assert_eq!(f[6], 5.0); // rt1
+        assert_eq!(f[7], 0.0); // st2 absent
+    }
+
+    #[test]
+    fn op_histogram_lists_present_types() {
+        let p = plan(1);
+        let h = op_histogram(&p);
+        assert!(h.iter().any(|(op, _)| *op == OpType::SeqScan));
+        let total: usize = h.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, p.node_count());
+    }
+}

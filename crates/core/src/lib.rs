@@ -1,0 +1,45 @@
+//! Learning-based query performance prediction.
+//!
+//! Reproduction of Akdere & Çetintemel, *Learning-based Query Performance
+//! Modeling and Prediction* (ICDE 2012): predicting the execution latency
+//! of a query plan before running it, from static (compile-time) features
+//! only.
+//!
+//! - [`features`] — the paper's feature tables: plan-level (Table 1) and
+//!   operator-level (Table 2) extraction, with estimated or actual values.
+//! - [`dataset`] — executed-workload training logs.
+//! - [`plan_model`] — plan-level models (SVR + forward feature selection).
+//! - [`op_model`] — per-operator-type start-/run-time models composed
+//!   bottom-up.
+//! - [`subplan`] — sub-plan structure keys, occurrence index, common
+//!   sub-plan analytics (Figure 4).
+//! - [`hybrid`] — Algorithm 1 with the size-/frequency-/error-based plan
+//!   ordering strategies.
+//! - [`online`] — online model building for unforeseen plans (Section 4).
+//! - [`progressive`] — progressive prediction with run-time features (the
+//!   extension sketched in the paper's conclusions).
+//! - [`predictor`] — the user-facing facade.
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod features;
+pub mod hybrid;
+pub mod materialize;
+pub mod online;
+pub mod op_model;
+pub mod plan_model;
+pub mod predictor;
+pub mod progressive;
+pub mod subplan;
+
+pub use dataset::{ExecutedQuery, QueryDataset, ONE_HOUR_SECS};
+pub use features::{plan_features, FeatureSource, NodeView};
+pub use hybrid::{train_hybrid, HybridConfig, HybridModel, PlanOrdering};
+pub use materialize::MaterializedModels;
+pub use online::{OnlineConfig, OnlinePredictor};
+pub use op_model::{OpLevelModel, OpModelConfig};
+pub use plan_model::{PlanLevelModel, PlanModelConfig, TargetMetric};
+pub use predictor::{Method, QppConfig, QppPredictor};
+pub use progressive::{observations_at, predict_progressive, predict_progressive_at};
+pub use subplan::{structure_key, StructureKey, SubplanIndex};

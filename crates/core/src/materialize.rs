@@ -1,0 +1,107 @@
+//! Model materialization (Section 1's "pre-build and materialize").
+//!
+//! The paper pre-builds models offline so they are immediately available
+//! for future predictions. This module serializes a trained model set to
+//! JSON and reloads it without retraining — the training logs are not
+//! needed at prediction time, only the materialized models.
+
+use crate::hybrid::{HybridModel, SubplanModel};
+use crate::op_model::OpLevelModel;
+use crate::plan_model::PlanLevelModel;
+use crate::subplan::StructureKey;
+use serde::{Deserialize, Serialize};
+
+/// A serializable snapshot of all trained models.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MaterializedModels {
+    /// Plan-level model.
+    pub plan_level: PlanLevelModel,
+    /// Operator-level models.
+    pub op_level: OpLevelModel,
+    /// Hybrid sub-plan models as (structure key, model) pairs (JSON maps
+    /// require string keys; a pair list avoids lossy conversions).
+    pub hybrid_plan_models: Vec<(u64, SubplanModel)>,
+}
+
+impl MaterializedModels {
+    /// Snapshots trained models.
+    pub fn new(
+        plan_level: &PlanLevelModel,
+        op_level: &OpLevelModel,
+        hybrid: &HybridModel,
+    ) -> MaterializedModels {
+        let mut pairs: Vec<(u64, SubplanModel)> = hybrid
+            .plan_models
+            .iter()
+            .map(|(k, v)| (k.0, v.clone()))
+            .collect();
+        pairs.sort_by_key(|(k, _)| *k);
+        MaterializedModels {
+            plan_level: plan_level.clone(),
+            op_level: op_level.clone(),
+            hybrid_plan_models: pairs,
+        }
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("models serialize")
+    }
+
+    /// Deserializes from JSON.
+    pub fn from_json(json: &str) -> Result<MaterializedModels, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Rebuilds the hybrid model.
+    pub fn hybrid(&self) -> HybridModel {
+        let mut h = HybridModel::operator_only(self.op_level.clone());
+        for (k, m) in &self.hybrid_plan_models {
+            h.plan_models.insert(StructureKey(*k), m.clone());
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::QueryDataset;
+    use crate::predictor::{Method, QppConfig, QppPredictor};
+    use crate::hybrid::PlanOrdering;
+    use crate::ExecutedQuery;
+    use engine::{Catalog, Simulator};
+    use tpch::Workload;
+
+    #[test]
+    fn models_roundtrip_through_json() {
+        let catalog = Catalog::new(0.1, 1);
+        let workload = Workload::generate(&[1, 3, 6], 8, 0.1, 7);
+        let sim = Simulator::with_config(engine::SimConfig {
+            additive_noise_secs: 0.05,
+            ..engine::SimConfig::default()
+        });
+        let ds = QueryDataset::execute(&catalog, &workload, &sim, 11, f64::INFINITY);
+        let refs: Vec<&ExecutedQuery> = ds.queries.iter().collect();
+        let qpp = QppPredictor::train(&refs, QppConfig::default()).unwrap();
+
+        let mat = MaterializedModels::new(&qpp.plan_level, &qpp.op_level, &qpp.hybrid);
+        let json = mat.to_json();
+        assert!(json.len() > 100);
+        let back = MaterializedModels::from_json(&json).unwrap();
+
+        // Reloaded models agree with the originals on every query.
+        let hybrid = back.hybrid();
+        for q in &refs {
+            let a = qpp.predict(q, Method::PlanLevel);
+            let b = back.plan_level.predict(q);
+            assert!((a - b).abs() < 1e-9, "plan-level {a} vs {b}");
+            let c = qpp.predict(q, Method::Hybrid(PlanOrdering::ErrorBased));
+            let d = hybrid.predict(q);
+            assert!((c - d).abs() < 1e-9, "hybrid {c} vs {d}");
+            let e = qpp.predict(q, Method::OperatorLevel);
+            let f = back.op_level.predict(q);
+            assert!((e - f).abs() < 1e-9, "op-level {e} vs {f}");
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! The user-facing QPP facade: train once, predict with any method,
+//! materialize models for later sessions.
+//!
+//! Ties the four prediction methods of the paper behind one API and
+//! implements model *materialization* (Section 1's pre-building): trained
+//! model sets serialize to JSON and reload without retraining.
+
+use crate::dataset::ExecutedQuery;
+use crate::features::FeatureSource;
+use crate::hybrid::{train_hybrid, HybridConfig, HybridModel, IterationRecord, PlanOrdering};
+use crate::online::{OnlineConfig, OnlinePredictor};
+use crate::op_model::{OpLevelModel, OpModelConfig};
+use crate::plan_model::{PlanLevelModel, PlanModelConfig};
+use ml::MlError;
+
+/// Which prediction method to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Single plan-level model (Section 3.1).
+    PlanLevel,
+    /// Composed operator-level models (Section 3.2).
+    OperatorLevel,
+    /// Hybrid with the given plan-ordering strategy (Section 3.4).
+    Hybrid(PlanOrdering),
+}
+
+/// Training configuration for the full predictor.
+#[derive(Debug, Clone, Default)]
+pub struct QppConfig {
+    /// Plan-level settings.
+    pub plan: PlanModelConfig,
+    /// Operator-level settings.
+    pub op: OpModelConfig,
+    /// Hybrid settings.
+    pub hybrid: HybridConfig,
+}
+
+/// A trained predictor holding all three offline model sets.
+pub struct QppPredictor {
+    /// Plan-level model.
+    pub plan_level: PlanLevelModel,
+    /// Operator-level models.
+    pub op_level: OpLevelModel,
+    /// Hybrid model (operator models + accepted sub-plan models).
+    pub hybrid: HybridModel,
+    /// Hybrid training trajectory.
+    pub hybrid_trajectory: Vec<IterationRecord>,
+    config: QppConfig,
+}
+
+impl QppPredictor {
+    /// Trains all offline models on the given training queries.
+    pub fn train(queries: &[&ExecutedQuery], config: QppConfig) -> Result<Self, MlError> {
+        let plan_level = PlanLevelModel::train(queries, &config.plan)?;
+        let op_level = OpLevelModel::train(queries, &config.op)?;
+        let (hybrid, hybrid_trajectory) =
+            train_hybrid(queries, op_level.clone(), &config.hybrid)?;
+        Ok(QppPredictor {
+            plan_level,
+            op_level,
+            hybrid,
+            hybrid_trajectory,
+            config,
+        })
+    }
+
+    /// Predicts a query's latency with the chosen method.
+    pub fn predict(&self, query: &ExecutedQuery, method: Method) -> f64 {
+        match method {
+            Method::PlanLevel => self.plan_level.predict(query),
+            Method::OperatorLevel => self.op_level.predict(query),
+            Method::Hybrid(_) => self.hybrid.predict(query),
+        }
+    }
+
+    /// Creates an online predictor over this predictor's models
+    /// (Section 4; the hybrid's pre-built sub-plan models seed it).
+    pub fn online<'a>(&self, train: Vec<&'a ExecutedQuery>) -> OnlinePredictor<'a> {
+        OnlinePredictor::new(
+            train,
+            self.hybrid.clone(),
+            OnlineConfig {
+                min_frequency: self.config.hybrid.min_frequency,
+                min_size: self.config.hybrid.min_size,
+                hybrid: self.config.hybrid.clone(),
+            },
+        )
+    }
+
+    /// Feature source in use.
+    pub fn source(&self) -> FeatureSource {
+        self.op_level.source()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::QueryDataset;
+    use engine::{Catalog, Simulator};
+    use ml::mean_relative_error;
+    use tpch::Workload;
+
+    /// Simulator with the jitter tuned down: these tests assert model
+    /// accuracy, which the default absolute jitter would swamp at the tiny
+    /// scale factors used here.
+    fn quiet_sim() -> Simulator {
+        Simulator::with_config(engine::SimConfig {
+            additive_noise_secs: 0.05,
+            ..engine::SimConfig::default()
+        })
+    }
+
+    fn dataset() -> QueryDataset {
+        let catalog = Catalog::new(0.1, 1);
+        let workload = Workload::generate(&[1, 3, 6, 14], 10, 0.1, 7);
+        QueryDataset::execute(&catalog, &workload, &quiet_sim(), 11, f64::INFINITY)
+    }
+
+    #[test]
+    fn facade_trains_and_predicts_with_all_methods() {
+        let ds = dataset();
+        let refs: Vec<&ExecutedQuery> = ds.queries.iter().collect();
+        let qpp = QppPredictor::train(&refs, QppConfig::default()).unwrap();
+        let actual: Vec<f64> = refs.iter().map(|q| q.latency()).collect();
+        for method in [
+            Method::PlanLevel,
+            Method::OperatorLevel,
+            Method::Hybrid(PlanOrdering::ErrorBased),
+        ] {
+            let preds: Vec<f64> = refs.iter().map(|q| qpp.predict(q, method)).collect();
+            let err = mean_relative_error(&actual, &preds);
+            assert!(err.is_finite(), "{method:?}: {err}");
+            assert!(err < 1.0, "{method:?} training error = {err}");
+        }
+    }
+
+    #[test]
+    fn online_predictor_is_constructible_from_facade() {
+        let ds = dataset();
+        let refs: Vec<&ExecutedQuery> = ds.queries.iter().collect();
+        let qpp = QppPredictor::train(&refs, QppConfig::default()).unwrap();
+        let mut online = qpp.online(refs.clone());
+        let p = online.predict_query(refs[0]);
+        assert!(p.is_finite() && p >= 0.0);
+    }
+}

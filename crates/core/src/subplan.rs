@@ -1,0 +1,341 @@
+//! Sub-plan structure keys, occurrence indexing and common-sub-plan
+//! analytics (Sections 3.4 and 4, Figure 4).
+//!
+//! Plan-level models for sub-plans are keyed on the *structure* of the
+//! sub-plan tree — operator types plus scanned tables — so all occurrences
+//! of the same fragment across queries and templates hash to the same key
+//! (the paper's `get_plan_list` hash index).
+
+use engine::plan::{OpDetail, PlanNode};
+use std::collections::HashMap;
+
+/// Structural key of a plan fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct StructureKey(pub u64);
+
+/// Computes the structural key of the subtree rooted at `node`.
+pub fn structure_key(node: &PlanNode) -> StructureKey {
+    StructureKey(hash_node(node))
+}
+
+fn hash_node(node: &PlanNode) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mix = |h: u64, v: u64| (h ^ v).wrapping_mul(0x1000_0000_01b3);
+    h = mix(h, node.op.index() as u64 + 1);
+    if let OpDetail::Scan { table, .. } = &node.detail {
+        h = mix(h, *table as u64 + 101);
+    }
+    if let OpDetail::Join { kind, .. } = &node.detail {
+        // Inner / semi / anti / outer joins of the same inputs are NOT the
+        // same fragment — their cardinality semantics differ completely.
+        h = mix(h, *kind as u64 + 501);
+    }
+    if node.op == engine::plan::OpType::HashJoin && node.children.len() == 2 {
+        // Hash joins are logically symmetric: the optimizer's build-side
+        // choice depends on cardinality estimates and flips between
+        // parameterizations/templates. Key the fragment on the unordered
+        // pair of inputs, with the Hash wrapper stripped, so the "same
+        // join of the same inputs" matches across orientations (this is
+        // what lets models transfer between templates, Section 4).
+        let a = hash_node(strip_hash(&node.children[0]));
+        let b = hash_node(strip_hash(&node.children[1]));
+        let combined = (a ^ b).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ a.wrapping_add(b)
+            ^ a.min(b).rotate_left(13);
+        return mix(h, combined);
+    }
+    for c in &node.children {
+        h = mix(h, hash_node(c));
+    }
+    h
+}
+
+/// The input under a `Hash` build node (identity for anything else).
+fn strip_hash(node: &PlanNode) -> &PlanNode {
+    if node.op == engine::plan::OpType::Hash && node.children.len() == 1 {
+        &node.children[0]
+    } else {
+        node
+    }
+}
+
+/// One occurrence of a sub-plan structure inside a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Occurrence {
+    /// Index of the query in the dataset.
+    pub query: usize,
+    /// Pre-order position of the sub-plan root within the query's plan.
+    pub node_idx: usize,
+    /// Number of operators in the sub-plan.
+    pub size: usize,
+}
+
+/// Summary of one distinct sub-plan structure.
+#[derive(Debug, Clone)]
+pub struct SubplanInfo {
+    /// Structure key.
+    pub key: StructureKey,
+    /// Operators in the fragment.
+    pub size: usize,
+    /// All occurrences across the dataset.
+    pub occurrences: Vec<Occurrence>,
+    /// Distinct templates the fragment appears in.
+    pub templates: Vec<u8>,
+    /// Human-readable description of the fragment.
+    pub description: String,
+}
+
+impl SubplanInfo {
+    /// Occurrence count.
+    pub fn frequency(&self) -> usize {
+        self.occurrences.len()
+    }
+}
+
+/// An index of every sub-plan structure in a set of plans.
+#[derive(Debug, Clone, Default)]
+pub struct SubplanIndex {
+    by_key: HashMap<StructureKey, SubplanInfo>,
+}
+
+impl SubplanIndex {
+    /// Builds the index over `(template, plan)` pairs, enumerating every
+    /// subtree with at least `min_size` operators.
+    pub fn build(plans: &[(u8, &PlanNode)], min_size: usize) -> SubplanIndex {
+        let mut idx = SubplanIndex::default();
+        for (q, (template, plan)) in plans.iter().enumerate() {
+            let mut cursor = 0usize;
+            index_subtrees(plan, q, *template, min_size, &mut cursor, &mut idx.by_key);
+        }
+        idx
+    }
+
+    /// Number of distinct structures.
+    pub fn len(&self) -> usize {
+        self.by_key.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_key.is_empty()
+    }
+
+    /// Look up a structure.
+    pub fn get(&self, key: StructureKey) -> Option<&SubplanInfo> {
+        self.by_key.get(&key)
+    }
+
+    /// All structures, sorted by key for determinism.
+    pub fn all(&self) -> Vec<&SubplanInfo> {
+        let mut v: Vec<&SubplanInfo> = self.by_key.values().collect();
+        v.sort_by_key(|s| s.key);
+        v
+    }
+
+    /// Structures shared by at least `min_templates` distinct templates
+    /// (the paper's "common sub-plans", Figure 4).
+    pub fn common(&self, min_templates: usize) -> Vec<&SubplanInfo> {
+        let mut v: Vec<&SubplanInfo> = self
+            .by_key
+            .values()
+            .filter(|s| s.templates.len() >= min_templates)
+            .collect();
+        v.sort_by(|a, b| b.frequency().cmp(&a.frequency()).then(a.key.cmp(&b.key)));
+        v
+    }
+
+    /// For each template, the number of *other* templates it shares at
+    /// least one common sub-plan with (Figure 4(c)).
+    pub fn template_sharing(&self) -> Vec<(u8, usize)> {
+        let mut partners: HashMap<u8, std::collections::BTreeSet<u8>> = HashMap::new();
+        for info in self.by_key.values() {
+            if info.templates.len() < 2 {
+                continue;
+            }
+            for &a in &info.templates {
+                for &b in &info.templates {
+                    if a != b {
+                        partners.entry(a).or_default().insert(b);
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(u8, usize)> = partners
+            .into_iter()
+            .map(|(t, s)| (t, s.len()))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// CDF support of common-sub-plan sizes (Figure 4(a)): the sorted
+    /// sizes of all structures shared by ≥ 2 templates.
+    pub fn common_size_distribution(&self) -> Vec<usize> {
+        let mut sizes: Vec<usize> = self
+            .by_key
+            .values()
+            .filter(|s| s.templates.len() >= 2)
+            .map(|s| s.size)
+            .collect();
+        sizes.sort_unstable();
+        sizes
+    }
+}
+
+fn index_subtrees(
+    node: &PlanNode,
+    query: usize,
+    template: u8,
+    min_size: usize,
+    cursor: &mut usize,
+    map: &mut HashMap<StructureKey, SubplanInfo>,
+) {
+    let my_idx = *cursor;
+    *cursor += 1;
+    let size = node.node_count();
+    if size >= min_size {
+        let key = structure_key(node);
+        let entry = map.entry(key).or_insert_with(|| SubplanInfo {
+            key,
+            size,
+            occurrences: Vec::new(),
+            templates: Vec::new(),
+            description: describe(node),
+        });
+        entry.occurrences.push(Occurrence {
+            query,
+            node_idx: my_idx,
+            size,
+        });
+        if !entry.templates.contains(&template) {
+            entry.templates.push(template);
+        }
+    }
+    for c in &node.children {
+        index_subtrees(c, query, template, min_size, cursor, map);
+    }
+}
+
+/// A compact single-line structural description, e.g.
+/// `HashJoin(SeqScan[orders], Hash(SeqScan[lineitem]))`.
+pub fn describe(node: &PlanNode) -> String {
+    let mut s = String::new();
+    write_desc(node, &mut s);
+    s
+}
+
+fn write_desc(node: &PlanNode, out: &mut String) {
+    let name = node.op.name().replace(' ', "");
+    out.push_str(&name);
+    if let OpDetail::Scan { table, .. } = &node.detail {
+        out.push('[');
+        out.push_str(table.name());
+        out.push(']');
+    }
+    if !node.children.is_empty() {
+        out.push('(');
+        for (i, c) in node.children.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_desc(c, out);
+        }
+        out.push(')');
+    }
+}
+
+/// Finds the subtree at a pre-order position, returning it together with
+/// the pre-order offset (which equals `node_idx` itself).
+pub fn subtree_at(plan: &PlanNode, node_idx: usize) -> &PlanNode {
+    plan.preorder()[node_idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::{Catalog, Planner};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn plans(templates: &[u8], n: usize) -> Vec<(u8, PlanNode)> {
+        let catalog = Catalog::new(0.1, 1);
+        let planner = Planner::new(&catalog);
+        let mut out = Vec::new();
+        for &t in templates {
+            let mut rng = StdRng::seed_from_u64(t as u64);
+            for _ in 0..n {
+                out.push((t, planner.plan(&tpch::instantiate(t, 0.1, &mut rng))));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn same_structure_same_key_different_structure_different_key() {
+        let ps = plans(&[3, 6], 2);
+        let k3a = structure_key(&ps[0].1);
+        let k3b = structure_key(&ps[1].1);
+        let k6 = structure_key(&ps[2].1);
+        // Template 3 instances share plan structure at this scale.
+        assert_eq!(k3a, k3b);
+        assert_ne!(k3a, k6);
+    }
+
+    #[test]
+    fn index_counts_occurrences_and_templates() {
+        let ps = plans(&[3, 3, 6], 2);
+        let refs: Vec<(u8, &PlanNode)> = ps.iter().map(|(t, p)| (*t, p)).collect();
+        let idx = SubplanIndex::build(&refs, 2);
+        assert!(!idx.is_empty());
+        // The full template-3 plan occurs 4 times (2 per workload copy).
+        let key = structure_key(&ps[0].1);
+        let info = idx.get(key).expect("indexed");
+        assert_eq!(info.frequency(), 4);
+        assert_eq!(info.templates, vec![3]);
+    }
+
+    #[test]
+    fn common_subplans_span_templates() {
+        // Templates 3 and 10 both join customer ⋈ orders ⋈ lineitem.
+        let ps = plans(&[3, 10], 3);
+        let refs: Vec<(u8, &PlanNode)> = ps.iter().map(|(t, p)| (*t, p)).collect();
+        let idx = SubplanIndex::build(&refs, 2);
+        let common = idx.common(2);
+        // They may or may not share fragments depending on physical
+        // choices; the sharing report must at least be internally
+        // consistent.
+        for info in &common {
+            assert!(info.templates.len() >= 2);
+        }
+        let sharing = idx.template_sharing();
+        for (_, n) in &sharing {
+            assert!(*n >= 1);
+        }
+    }
+
+    #[test]
+    fn descriptions_are_structural() {
+        let ps = plans(&[6], 1);
+        let d = describe(&ps[0].1);
+        assert!(d.contains("SeqScan[lineitem]"), "{d}");
+        assert!(d.contains("Aggregate"), "{d}");
+    }
+
+    #[test]
+    fn subtree_at_matches_preorder() {
+        let ps = plans(&[3], 1);
+        let plan = &ps[0].1;
+        for (i, n) in plan.preorder().iter().enumerate() {
+            assert_eq!(subtree_at(plan, i).op, n.op);
+        }
+    }
+
+    #[test]
+    fn size_distribution_is_sorted() {
+        let ps = plans(&[3, 10, 5], 2);
+        let refs: Vec<(u8, &PlanNode)> = ps.iter().map(|(t, p)| (*t, p)).collect();
+        let idx = SubplanIndex::build(&refs, 2);
+        let sizes = idx.common_size_distribution();
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,106 @@
+//! Semantics of the Table-1 / Table-2 feature extractors across the full
+//! template set.
+
+use engine::{Catalog, Planner};
+use qpp::features::{
+    node_views, op_histogram, plan_feature_names, plan_features, FeatureSource,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn plan(t: u8, sf: f64) -> engine::PlanNode {
+    let catalog = Catalog::new(sf, 1);
+    let planner = Planner::new(&catalog);
+    let mut rng = StdRng::seed_from_u64(12);
+    planner.plan(&tpch::instantiate(t, sf, &mut rng))
+}
+
+/// Feature names are unique and aligned with the vector layout.
+#[test]
+fn feature_names_are_unique() {
+    let names = plan_feature_names();
+    let set: std::collections::HashSet<&String> = names.iter().collect();
+    assert_eq!(set.len(), names.len());
+    assert_eq!(names[0], "p_tot_cost");
+    assert_eq!(names[1], "p_st_cost");
+    assert_eq!(names[4], "op_count");
+}
+
+/// Sub-tree features are consistent with whole-plan features: the subtree
+/// slice of views produces the same vector as re-extracting on the
+/// subtree.
+#[test]
+fn subtree_features_use_contiguous_view_slices() {
+    let p = plan(5, 0.5);
+    let views = node_views(&p, FeatureSource::Estimated, None);
+    let nodes = p.preorder();
+    // Pick the first join node.
+    let (idx, node) = nodes
+        .iter()
+        .enumerate()
+        .find(|(_, n)| n.children.len() == 2)
+        .expect("a join exists");
+    let size = node.node_count();
+    let slice = &views[idx..idx + size];
+    let f = plan_features(node, slice);
+    assert_eq!(f[4] as usize, size);
+    // The sub-tree root's cost is the first feature.
+    assert_eq!(f[0], node.est.total_cost);
+}
+
+/// `<op>_cnt` features count exactly the operators in the histogram.
+#[test]
+fn op_count_features_match_histogram() {
+    for t in [1u8, 3, 9, 13, 18] {
+        let p = plan(t, 0.5);
+        let views = node_views(&p, FeatureSource::Estimated, None);
+        let f = plan_features(&p, &views);
+        for (op, count) in op_histogram(&p) {
+            let feature = f[7 + op.index()];
+            assert_eq!(feature as usize, count, "t{t} {op:?}");
+        }
+    }
+}
+
+/// Estimated and actual views share widths but differ in rows wherever
+/// estimation errs.
+#[test]
+fn view_sources_share_structure() {
+    let q = {
+        let catalog = Catalog::new(0.5, 1);
+        let workload = tpch::Workload::generate(&[18], 1, 0.5, 3);
+        qpp::QueryDataset::execute(
+            &catalog,
+            &workload,
+            &engine::Simulator::new(),
+            5,
+            f64::INFINITY,
+        )
+    };
+    let q = &q.queries[0];
+    let est = q.views(FeatureSource::Estimated);
+    let act = q.views(FeatureSource::Actual);
+    assert_eq!(est.len(), act.len());
+    let mut any_row_gap = false;
+    for (e, a) in est.iter().zip(&act) {
+        assert_eq!(e.width, a.width);
+        if (e.rows - a.rows).abs() > a.rows.max(1.0) * 0.5 {
+            any_row_gap = true;
+        }
+    }
+    assert!(any_row_gap, "template 18 must show estimation gaps");
+}
+
+/// Operator-level feature vectors encode the child arity: unary operators
+/// have zeroed right-child features.
+#[test]
+fn unary_operators_zero_right_child_features() {
+    use qpp::features::op_features;
+    let p = plan(1, 0.5);
+    let views = node_views(&p, FeatureSource::Estimated, None);
+    // Root (Sort) is unary.
+    let f = op_features(&p, &views[0], &[&views[1]], &[(1.0, 2.0)]);
+    assert_eq!(f[3], 0.0); // nt2
+    assert_eq!(f[7], 0.0); // st2
+    assert_eq!(f[8], 0.0); // rt2
+}

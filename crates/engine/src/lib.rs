@@ -1,0 +1,42 @@
+//! DBMS substrate: the database system whose query performance we predict.
+//!
+//! This crate plays the role of "PostgreSQL on a commodity server" in the
+//! reproduction:
+//!
+//! - [`catalog`] + [`histogram`] — ANALYZE-style statistics (with realistic
+//!   estimation noise and distinct-count underestimation).
+//! - [`estimator`] — the optimizer's selectivity/cardinality estimator
+//!   (histograms + independence + default selectivities).
+//! - [`truth`] — the ground-truth cardinality model (exact generative
+//!   selectivities, correlation corrections).
+//! - [`plan`] — physical plan trees annotated with both estimates and
+//!   truth.
+//! - [`cost`] — PostgreSQL's analytical cost model (the paper's baseline).
+//! - [`planner`] — cost-based physical planning of the TPC-H templates.
+//! - [`sim`] — the execution simulator producing per-operator start-times
+//!   and run-times (the paper's prediction targets).
+//! - [`exec`] — a reference executor over generated rows for validating
+//!   the truth model at tiny scale factors.
+//! - [`mod@explain`] — EXPLAIN / EXPLAIN ANALYZE rendering.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod cost;
+pub mod estimator;
+pub mod exec;
+pub mod explain;
+pub mod histogram;
+pub mod plan;
+pub mod planner;
+pub mod recost;
+pub mod sim;
+pub mod truth;
+
+pub use catalog::Catalog;
+pub use estimator::Estimator;
+pub use explain::{explain, explain_analyze};
+pub use plan::{NodeEst, NodeTruth, OpDetail, OpType, PlanNode, ALL_OP_TYPES};
+pub use planner::{Planner, PlannerConfig};
+pub use recost::{recost_truth, TruthCosts};
+pub use sim::{NodeTiming, SimConfig, Simulator, Trace};

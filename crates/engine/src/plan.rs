@@ -1,0 +1,283 @@
+//! Physical plan trees, annotated with both the optimizer's estimates and
+//! the ground truth.
+//!
+//! The operator set mirrors PostgreSQL's executor nodes for the TPC-H
+//! plans: scans, sorts, the three join methods (with explicit `Hash` and
+//! `Materialize` helper nodes), the three aggregation strategies, `Limit`,
+//! and a `SubqueryScan` wrapper for InitPlan/SubPlan structures.
+
+use serde::Serialize;
+use tpch::schema::{ColRef, TableId};
+use tpch::spec::{JoinKind, Predicate};
+
+/// Physical operator types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub enum OpType {
+    /// Sequential heap scan.
+    SeqScan,
+    /// B-tree index scan.
+    IndexScan,
+    /// Blocking sort (in-memory or external merge).
+    Sort,
+    /// Hash-table build (inner side of a hash join).
+    Hash,
+    /// Hash join probe.
+    HashJoin,
+    /// Merge join over sorted inputs.
+    MergeJoin,
+    /// Nested-loop join.
+    NestedLoop,
+    /// Tuple-store materialization (rescanned by a parent nested loop or
+    /// merge join).
+    Materialize,
+    /// Hash-based grouping.
+    HashAggregate,
+    /// Sorted-input grouping.
+    GroupAggregate,
+    /// Ungrouped (scalar) aggregate.
+    Aggregate,
+    /// LIMIT.
+    Limit,
+    /// InitPlan / SubPlan evaluation wrapper.
+    SubqueryScan,
+}
+
+/// All operator types, for iteration (e.g. building one model per type).
+pub const ALL_OP_TYPES: [OpType; 13] = [
+    OpType::SeqScan,
+    OpType::IndexScan,
+    OpType::Sort,
+    OpType::Hash,
+    OpType::HashJoin,
+    OpType::MergeJoin,
+    OpType::NestedLoop,
+    OpType::Materialize,
+    OpType::HashAggregate,
+    OpType::GroupAggregate,
+    OpType::Aggregate,
+    OpType::Limit,
+    OpType::SubqueryScan,
+];
+
+impl OpType {
+    /// Display name (PostgreSQL EXPLAIN style).
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpType::SeqScan => "Seq Scan",
+            OpType::IndexScan => "Index Scan",
+            OpType::Sort => "Sort",
+            OpType::Hash => "Hash",
+            OpType::HashJoin => "Hash Join",
+            OpType::MergeJoin => "Merge Join",
+            OpType::NestedLoop => "Nested Loop",
+            OpType::Materialize => "Materialize",
+            OpType::HashAggregate => "HashAggregate",
+            OpType::GroupAggregate => "GroupAggregate",
+            OpType::Aggregate => "Aggregate",
+            OpType::Limit => "Limit",
+            OpType::SubqueryScan => "SubqueryScan",
+        }
+    }
+
+    /// Index into [`ALL_OP_TYPES`].
+    pub fn index(&self) -> usize {
+        ALL_OP_TYPES.iter().position(|t| t == self).expect("known op")
+    }
+}
+
+/// Optimizer-side annotations of a plan node (the paper's static features
+/// come from these).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct NodeEst {
+    /// Cost until the first output tuple (PostgreSQL `startup_cost`).
+    pub startup_cost: f64,
+    /// Total cost (PostgreSQL `total_cost`).
+    pub total_cost: f64,
+    /// Estimated output rows.
+    pub rows: f64,
+    /// Estimated output tuple width in bytes.
+    pub width: f64,
+    /// Estimated I/O in pages attributable to this node.
+    pub pages: f64,
+    /// Estimated selectivity applied at this node (1.0 when none).
+    pub selectivity: f64,
+}
+
+/// Ground-truth annotations (the simulator's inputs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct NodeTruth {
+    /// Actual output rows.
+    pub rows: f64,
+    /// Actual I/O pages attributable to this node.
+    pub pages: f64,
+    /// Actual selectivity applied at this node.
+    pub selectivity: f64,
+}
+
+/// Operator-specific details needed by the simulator and the explainers.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum OpDetail {
+    /// Scans (sequential or index).
+    Scan {
+        /// Scanned table.
+        table: TableId,
+        /// Predicates evaluated at the scan.
+        filters: Vec<Predicate>,
+    },
+    /// Joins (all kinds).
+    Join {
+        /// Logical join kind.
+        kind: JoinKind,
+        /// Equi-join columns.
+        on: (ColRef, ColRef),
+    },
+    /// Aggregations.
+    Agg {
+        /// Number of aggregate expressions.
+        n_aggs: u32,
+        /// Numeric (software-arithmetic) operations per input tuple.
+        numeric_ops: u32,
+        /// Number of grouping columns.
+        n_group_cols: u32,
+    },
+    /// Sorts.
+    Sort {
+        /// Number of sort keys.
+        keys: u32,
+    },
+    /// Materialization; `rescans` is the expected number of times the
+    /// parent re-reads the stored tuples.
+    Materialize {
+        /// Expected rescan count (truth side).
+        rescans: f64,
+    },
+    /// LIMIT.
+    Limit {
+        /// Row budget.
+        count: u64,
+    },
+    /// InitPlan (executions = 1) or SubPlan (executions = outer rows).
+    Subquery {
+        /// Whether the subquery re-executes per outer row.
+        correlated: bool,
+        /// True number of subquery executions.
+        executions: f64,
+    },
+    /// No extra detail (Hash).
+    None,
+}
+
+/// A physical plan node.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PlanNode {
+    /// Operator type.
+    pub op: OpType,
+    /// Child operators (0, 1 or 2; `SubqueryScan` holds input + subplan).
+    pub children: Vec<PlanNode>,
+    /// Optimizer estimates.
+    pub est: NodeEst,
+    /// Ground truth.
+    pub truth: NodeTruth,
+    /// Operator detail.
+    pub detail: OpDetail,
+}
+
+impl PlanNode {
+    /// Number of nodes in the subtree.
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(PlanNode::node_count).sum::<usize>()
+    }
+
+    /// Pre-order traversal of the subtree (self first).
+    pub fn preorder(&self) -> Vec<&PlanNode> {
+        let mut out = Vec::with_capacity(self.node_count());
+        fn walk<'a>(n: &'a PlanNode, out: &mut Vec<&'a PlanNode>) {
+            out.push(n);
+            for c in &n.children {
+                walk(c, out);
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Depth of the plan tree.
+    pub fn depth(&self) -> usize {
+        1 + self.children.iter().map(PlanNode::depth).max().unwrap_or(0)
+    }
+
+    /// The table scanned at this node, if it is a scan.
+    pub fn scan_table(&self) -> Option<TableId> {
+        match &self.detail {
+            OpDetail::Scan { table, .. } => Some(*table),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(op: OpType) -> PlanNode {
+        PlanNode {
+            op,
+            children: vec![],
+            est: NodeEst {
+                startup_cost: 0.0,
+                total_cost: 10.0,
+                rows: 5.0,
+                width: 100.0,
+                pages: 1.0,
+                selectivity: 1.0,
+            },
+            truth: NodeTruth {
+                rows: 5.0,
+                pages: 1.0,
+                selectivity: 1.0,
+            },
+            detail: OpDetail::None,
+        }
+    }
+
+    fn tree() -> PlanNode {
+        let mut root = leaf(OpType::HashJoin);
+        let mut hash = leaf(OpType::Hash);
+        hash.children.push(leaf(OpType::SeqScan));
+        root.children.push(leaf(OpType::SeqScan));
+        root.children.push(hash);
+        root
+    }
+
+    #[test]
+    fn preorder_and_counts() {
+        let t = tree();
+        assert_eq!(t.node_count(), 4);
+        assert_eq!(t.depth(), 3);
+        let ops: Vec<OpType> = t.preorder().iter().map(|n| n.op).collect();
+        assert_eq!(
+            ops,
+            vec![OpType::HashJoin, OpType::SeqScan, OpType::Hash, OpType::SeqScan]
+        );
+    }
+
+    #[test]
+    fn op_type_names_and_indices_are_unique() {
+        let mut names = std::collections::HashSet::new();
+        for (i, op) in ALL_OP_TYPES.iter().enumerate() {
+            assert_eq!(op.index(), i);
+            assert!(names.insert(op.name()));
+        }
+    }
+
+    #[test]
+    fn scan_table_accessor() {
+        let mut s = leaf(OpType::SeqScan);
+        s.detail = OpDetail::Scan {
+            table: TableId::Orders,
+            filters: vec![],
+        };
+        assert_eq!(s.scan_table(), Some(TableId::Orders));
+        assert_eq!(leaf(OpType::Sort).scan_table(), None);
+    }
+}

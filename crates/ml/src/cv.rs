@@ -1,0 +1,216 @@
+//! K-fold and stratified K-fold cross-validation (Section 2 / Section 5.1).
+//!
+//! The paper's static-workload results use 5-fold cross-validation with
+//! *stratified sampling*: folds contain roughly equal numbers of queries
+//! from each TPC-H template. Strata here are arbitrary `usize` labels.
+
+use crate::dataset::Dataset;
+use crate::metrics::mean_relative_error;
+use crate::{Learner, MlError, Model};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One train/test split: indices into the original dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Training-row indices.
+    pub train: Vec<usize>,
+    /// Held-out test-row indices.
+    pub test: Vec<usize>,
+}
+
+/// Plain K-fold split of `n` rows, shuffled with `seed`.
+///
+/// Every row appears in exactly one test fold; folds differ in size by at
+/// most one row.
+///
+/// # Panics
+/// Panics when `k < 2` or `k > n`.
+pub fn kfold(n: usize, k: usize, seed: u64) -> Vec<Fold> {
+    assert!(k >= 2, "k-fold requires k >= 2");
+    assert!(k <= n, "k-fold requires k <= n (k={k}, n={n})");
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed));
+    folds_from_order(&order, k, n)
+}
+
+/// Stratified K-fold: rows are dealt into folds round-robin *within each
+/// stratum*, so every fold receives roughly `|stratum| / k` rows from each
+/// stratum (the paper's stratified sampling over templates).
+///
+/// # Panics
+/// Panics when `k < 2` or `k > strata.len()`.
+pub fn stratified_kfold(strata: &[usize], k: usize, seed: u64) -> Vec<Fold> {
+    let n = strata.len();
+    assert!(k >= 2, "k-fold requires k >= 2");
+    assert!(k <= n, "k-fold requires k <= n (k={k}, n={n})");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Group indices per stratum, shuffle within, then deal round-robin.
+    let mut by_stratum: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (i, &s) in strata.iter().enumerate() {
+        match by_stratum.iter_mut().find(|(label, _)| *label == s) {
+            Some((_, v)) => v.push(i),
+            None => by_stratum.push((s, vec![i])),
+        }
+    }
+    let mut assignment = vec![0usize; n];
+    let mut next_fold = 0usize;
+    for (_, mut members) in by_stratum {
+        members.shuffle(&mut rng);
+        for m in members {
+            assignment[m] = next_fold;
+            next_fold = (next_fold + 1) % k;
+        }
+    }
+    (0..k)
+        .map(|f| {
+            let mut train = Vec::new();
+            let mut test = Vec::new();
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..n {
+                if assignment[i] == f {
+                    test.push(i);
+                } else {
+                    train.push(i);
+                }
+            }
+            Fold { train, test }
+        })
+        .collect()
+}
+
+fn folds_from_order(order: &[usize], k: usize, n: usize) -> Vec<Fold> {
+    let base = n / k;
+    let extra = n % k;
+    let mut folds = Vec::with_capacity(k);
+    let mut start = 0usize;
+    for f in 0..k {
+        let size = base + usize::from(f < extra);
+        let test: Vec<usize> = order[start..start + size].to_vec();
+        let train: Vec<usize> = order[..start]
+            .iter()
+            .chain(&order[start + size..])
+            .copied()
+            .collect();
+        folds.push(Fold { train, test });
+        start += size;
+    }
+    folds
+}
+
+/// Result of cross-validating a learner.
+#[derive(Debug, Clone)]
+pub struct CrossValidation {
+    /// Mean relative error per fold.
+    pub fold_errors: Vec<f64>,
+    /// Out-of-fold prediction for every row (in original row order).
+    pub predictions: Vec<f64>,
+}
+
+impl CrossValidation {
+    /// Average of the per-fold mean relative errors (the number the paper
+    /// reports).
+    pub fn mean_error(&self) -> f64 {
+        self.fold_errors.iter().sum::<f64>() / self.fold_errors.len() as f64
+    }
+}
+
+/// Trains `learner` on each fold's training rows and predicts its test rows;
+/// reports per-fold mean relative error and the out-of-fold predictions.
+pub fn cross_validate<L: Learner>(
+    learner: &L,
+    x: &Dataset,
+    y: &[f64],
+    folds: &[Fold],
+) -> Result<CrossValidation, MlError> {
+    x.check_targets(y)?;
+    let mut fold_errors = Vec::with_capacity(folds.len());
+    let mut predictions = vec![f64::NAN; y.len()];
+    for fold in folds {
+        let x_train = x.select_rows(&fold.train);
+        let y_train: Vec<f64> = fold.train.iter().map(|&i| y[i]).collect();
+        let model = learner.fit(&x_train, &y_train)?;
+        let mut actual = Vec::with_capacity(fold.test.len());
+        let mut est = Vec::with_capacity(fold.test.len());
+        for &i in &fold.test {
+            let p = model.predict(x.row(i));
+            predictions[i] = p;
+            actual.push(y[i]);
+            est.push(p);
+        }
+        if !actual.is_empty() {
+            fold_errors.push(mean_relative_error(&actual, &est));
+        }
+    }
+    Ok(CrossValidation {
+        fold_errors,
+        predictions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LearnerKind;
+
+    #[test]
+    fn kfold_partitions_all_rows() {
+        let folds = kfold(10, 3, 1);
+        assert_eq!(folds.len(), 3);
+        let mut seen: Vec<usize> = folds.iter().flat_map(|f| f.test.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        for f in &folds {
+            assert_eq!(f.train.len() + f.test.len(), 10);
+            assert!(f.test.len() >= 3);
+            // Train and test are disjoint.
+            assert!(f.test.iter().all(|t| !f.train.contains(t)));
+        }
+    }
+
+    #[test]
+    fn kfold_is_deterministic_per_seed() {
+        assert_eq!(kfold(20, 5, 7), kfold(20, 5, 7));
+        assert_ne!(kfold(20, 5, 7), kfold(20, 5, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn kfold_rejects_k_one() {
+        kfold(10, 1, 0);
+    }
+
+    #[test]
+    fn stratified_folds_balance_strata() {
+        // 3 strata with 10 rows each; 5 folds should get 2 from each.
+        let strata: Vec<usize> = (0..30).map(|i| i / 10).collect();
+        let folds = stratified_kfold(&strata, 5, 42);
+        for f in &folds {
+            for label in 0..3usize {
+                let count = f.test.iter().filter(|&&i| strata[i] == label).count();
+                assert_eq!(count, 2, "fold should hold 2 rows of stratum {label}");
+            }
+        }
+    }
+
+    #[test]
+    fn stratified_covers_all_rows_exactly_once() {
+        let strata: Vec<usize> = (0..23).map(|i| i % 4).collect();
+        let folds = stratified_kfold(&strata, 5, 3);
+        let mut seen: Vec<usize> = folds.iter().flat_map(|f| f.test.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cross_validate_linear_on_linear_data_is_accurate() {
+        let x = Dataset::from_rows((0..40).map(|i| vec![i as f64]).collect());
+        let y: Vec<f64> = (0..40).map(|i| 5.0 + 2.0 * i as f64).collect();
+        let folds = kfold(40, 5, 0);
+        let cv = cross_validate(&LearnerKind::Linear { ridge: 1e-9 }, &x, &y, &folds).unwrap();
+        assert!(cv.mean_error() < 1e-6, "mre = {}", cv.mean_error());
+        assert!(cv.predictions.iter().all(|p| p.is_finite()));
+    }
+}

@@ -1,0 +1,206 @@
+//! Correlation-ranked forward feature selection (Section 2 of the paper).
+//!
+//! The paper observes that models using the *full* plan-level feature set
+//! are frequently *less* accurate than models using a small selected subset,
+//! and uses a best-first forward-selection algorithm guided by linear
+//! correlation coefficients (after Witten & Frank). This module implements
+//! that procedure:
+//!
+//! 1. Rank candidate features by |Pearson correlation| with the target.
+//! 2. Starting from the empty set, repeatedly try adding the next-ranked
+//!    feature; keep it if cross-validated error improves.
+//! 3. Stop after `patience` consecutive non-improving additions (best-first
+//!    with a bounded frontier).
+
+use crate::cv::{cross_validate, Fold};
+use crate::dataset::Dataset;
+use crate::stats::pearson;
+use crate::{Learner, MlError};
+
+/// Configuration for forward selection.
+#[derive(Debug, Clone)]
+pub struct ForwardSelection {
+    /// Number of consecutive non-improving candidate features tolerated
+    /// before the search stops.
+    pub patience: usize,
+    /// Minimum relative improvement of CV error for a feature to be kept.
+    pub min_improvement: f64,
+    /// Upper bound on the number of selected features (0 = unlimited).
+    pub max_features: usize,
+}
+
+impl Default for ForwardSelection {
+    fn default() -> Self {
+        ForwardSelection {
+            patience: 4,
+            min_improvement: 1e-3,
+            max_features: 0,
+        }
+    }
+}
+
+/// Outcome of a forward-selection run.
+#[derive(Debug, Clone)]
+pub struct SelectionResult {
+    /// Selected column indices into the original dataset, in the order they
+    /// were accepted.
+    pub selected: Vec<usize>,
+    /// Cross-validated mean relative error of the final subset.
+    pub cv_error: f64,
+}
+
+/// Ranks all columns of `x` by |Pearson correlation| with `y`, strongest
+/// first. Constant columns rank last (correlation treated as 0).
+pub fn rank_by_correlation(x: &Dataset, y: &[f64]) -> Vec<usize> {
+    let mut ranked: Vec<(usize, f64)> = (0..x.n_cols())
+        .map(|j| (j, pearson(&x.column(j), y).abs()))
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    ranked.into_iter().map(|(j, _)| j).collect()
+}
+
+/// Runs best-first forward selection of feature columns for `learner`.
+///
+/// `folds` provides the cross-validation splits used to score subsets; the
+/// same folds are reused for every candidate so scores are comparable.
+///
+/// Guarantees at least one feature is selected (the top-correlated one)
+/// even if no candidate beats the empty baseline.
+pub fn forward_select<L: Learner>(
+    config: &ForwardSelection,
+    learner: &L,
+    x: &Dataset,
+    y: &[f64],
+    folds: &[Fold],
+) -> Result<SelectionResult, MlError> {
+    x.check_targets(y)?;
+    let ranked = rank_by_correlation(x, y);
+    let mut selected: Vec<usize> = Vec::new();
+    let mut best_error = f64::INFINITY;
+    let mut misses = 0usize;
+
+    for &candidate in &ranked {
+        if config.max_features > 0 && selected.len() >= config.max_features {
+            break;
+        }
+        let mut trial = selected.clone();
+        trial.push(candidate);
+        let sub = x.select_columns(&trial);
+        let err = match cross_validate(learner, &sub, y, folds) {
+            Ok(cv) => cv.mean_error(),
+            // A candidate that makes the system unsolvable is simply skipped.
+            Err(_) => f64::INFINITY,
+        };
+        // Absolute floor of 1e-12 keeps numerical jitter from counting as
+        // an improvement once the error is essentially zero.
+        let improved = err.is_finite()
+            && (best_error.is_infinite()
+                || err < best_error * (1.0 - config.min_improvement) - 1e-12);
+        if improved {
+            selected = trial;
+            best_error = err;
+            misses = 0;
+        } else {
+            misses += 1;
+            if misses > config.patience {
+                break;
+            }
+        }
+    }
+
+    if selected.is_empty() {
+        // Degenerate data (e.g. constant target): fall back to the single
+        // top-ranked feature so downstream code always has a model.
+        let first = ranked.first().copied().unwrap_or(0);
+        let sub = x.select_columns(&[first]);
+        let err = cross_validate(learner, &sub, y, folds)
+            .map(|cv| cv.mean_error())
+            .unwrap_or(f64::INFINITY);
+        return Ok(SelectionResult {
+            selected: vec![first],
+            cv_error: err,
+        });
+    }
+
+    Ok(SelectionResult {
+        selected,
+        cv_error: best_error,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cv::kfold;
+    use crate::LearnerKind;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// y depends on columns 0 and 2; column 1 is pure noise, column 3 is
+    /// constant.
+    fn informative_dataset() -> (Dataset, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..80 {
+            let a: f64 = rng.gen_range(0.0..10.0);
+            let unrelated: f64 = rng.gen_range(-1.0..1.0);
+            let noise: f64 = rng.gen_range(-1.0..1.0);
+            let b: f64 = rng.gen_range(0.0..10.0);
+            rows.push(vec![a, unrelated * 100.0, b, 3.0]);
+            y.push(4.0 * a + 2.0 * b + 1.0 + noise * 0.01);
+        }
+        (Dataset::from_rows(rows), y)
+    }
+
+    #[test]
+    fn ranking_puts_informative_features_first() {
+        let (x, y) = informative_dataset();
+        let ranked = rank_by_correlation(&x, &y);
+        // The two informative columns must outrank noise and constant.
+        let pos_a = ranked.iter().position(|&c| c == 0).unwrap();
+        let pos_b = ranked.iter().position(|&c| c == 2).unwrap();
+        let pos_noise = ranked.iter().position(|&c| c == 1).unwrap();
+        let pos_const = ranked.iter().position(|&c| c == 3).unwrap();
+        assert!(pos_a < pos_noise && pos_b < pos_noise);
+        assert!(pos_a < pos_const && pos_b < pos_const);
+    }
+
+    #[test]
+    fn forward_selection_picks_informative_subset() {
+        let (x, y) = informative_dataset();
+        let folds = kfold(x.n_rows(), 5, 0);
+        let learner = LearnerKind::Linear { ridge: 1e-9 };
+        let result = forward_select(&ForwardSelection::default(), &learner, &x, &y, &folds)
+            .expect("selection");
+        assert!(result.selected.contains(&0));
+        assert!(result.selected.contains(&2));
+        assert!(!result.selected.contains(&3), "constant column selected");
+        assert!(result.cv_error < 0.02, "cv error {}", result.cv_error);
+    }
+
+    #[test]
+    fn max_features_is_respected() {
+        let (x, y) = informative_dataset();
+        let folds = kfold(x.n_rows(), 4, 0);
+        let learner = LearnerKind::Linear { ridge: 1e-9 };
+        let cfg = ForwardSelection {
+            max_features: 1,
+            ..ForwardSelection::default()
+        };
+        let result = forward_select(&cfg, &learner, &x, &y, &folds).unwrap();
+        assert_eq!(result.selected.len(), 1);
+    }
+
+    #[test]
+    fn always_selects_at_least_one_feature() {
+        // Constant target: nothing improves, but we still get a model input.
+        let x = Dataset::from_rows((0..10).map(|i| vec![i as f64, -(i as f64)]).collect());
+        let y = vec![5.0; 10];
+        let folds = kfold(10, 2, 0);
+        let learner = LearnerKind::Linear { ridge: 1e-6 };
+        let result =
+            forward_select(&ForwardSelection::default(), &learner, &x, &y, &folds).unwrap();
+        assert_eq!(result.selected.len(), 1);
+    }
+}

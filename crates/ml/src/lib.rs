@@ -1,0 +1,203 @@
+//! Learning substrate for query performance prediction.
+//!
+//! The paper builds its predictors out of two model families — linear
+//! regression (Shark) for operator-level models and support-vector
+//! regression (libsvm, nu-SVR) for plan-level models — plus a
+//! correlation-ranked forward feature-selection procedure and stratified
+//! K-fold cross-validation. This crate re-implements all of that from
+//! scratch:
+//!
+//! - [`linalg`] — small dense matrices, Cholesky factorization, solves.
+//! - [`scaler`] — z-score standardization of feature columns.
+//! - [`linreg`] — ordinary least squares / ridge regression.
+//! - [`svr`] — epsilon-SVR with linear and RBF kernels, trained with a
+//!   libsvm-style SMO solver.
+//! - [`nusvr`] — nu-SVR (the paper's exact flavor), with the two-constraint
+//!   Solver_NU scheme.
+//! - [`feature_selection`] — best-first forward selection over features
+//!   ranked by |Pearson correlation| with the target (Section 2 of the
+//!   paper).
+//! - [`cv`] — K-fold and stratified K-fold cross-validation (Section 5.1).
+//! - [`metrics`] — mean relative error (the paper's headline metric), R²,
+//!   predictive risk, RMSE, MAE.
+//! - [`dataset`] — a lightweight (rows × columns) design-matrix container
+//!   shared by the learners.
+
+#![warn(missing_docs)]
+
+pub mod cv;
+pub mod dataset;
+pub mod feature_selection;
+pub mod linalg;
+pub mod linreg;
+pub mod metrics;
+pub mod nusvr;
+pub mod scaler;
+pub mod stats;
+pub mod svr;
+
+pub use cv::{kfold, stratified_kfold, CrossValidation};
+pub use dataset::Dataset;
+pub use feature_selection::{forward_select, ForwardSelection};
+pub use linreg::{LinearModel, LinearRegression};
+pub use metrics::{mean_absolute_error, mean_relative_error, predictive_risk, r2_score, rmse};
+pub use scaler::StandardScaler;
+pub use nusvr::{NuSvr, NuSvrParams};
+pub use svr::{Kernel, Svr, SvrModel, SvrParams};
+
+use serde::{Deserialize, Serialize};
+
+/// Errors produced by the learning substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// The design matrix and target vector disagree on the number of rows,
+    /// or a prediction row disagrees with the trained feature count.
+    ShapeMismatch {
+        /// Rows/features the operation expected.
+        expected: usize,
+        /// Rows/features actually supplied.
+        got: usize,
+    },
+    /// Training was attempted on an empty dataset.
+    EmptyDataset,
+    /// A matrix required to be symmetric positive definite was not
+    /// (within numerical tolerance), e.g. a singular normal-equation
+    /// system with no ridge term.
+    NotPositiveDefinite,
+    /// An invalid hyper-parameter was supplied (message explains which).
+    InvalidParameter(&'static str),
+}
+
+impl std::fmt::Display for MlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MlError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected}, got {got}")
+            }
+            MlError::EmptyDataset => write!(f, "empty training dataset"),
+            MlError::NotPositiveDefinite => {
+                write!(f, "matrix not positive definite (singular system?)")
+            }
+            MlError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+/// A trained regression model: maps a feature vector to a scalar estimate.
+pub trait Model: Send + Sync {
+    /// Predicts the target value for one feature row.
+    ///
+    /// The row must have the same number of features the model was trained
+    /// on.
+    fn predict(&self, row: &[f64]) -> f64;
+
+    /// Number of input features the model expects.
+    fn n_features(&self) -> usize;
+}
+
+/// A learner: a model family plus hyper-parameters that can be fit to data.
+pub trait Learner {
+    /// Fits the learner to `x` (rows × features) and targets `y`.
+    fn fit(&self, x: &Dataset, y: &[f64]) -> Result<TrainedModel, MlError>;
+}
+
+/// A concrete, serializable trained model (linear regression or SVR).
+///
+/// The paper *materializes* pre-built models so they are ready for future
+/// predictions (Section 1); a closed enum keeps that serialization simple.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum TrainedModel {
+    /// Ordinary least squares / ridge regression model.
+    Linear(LinearModel),
+    /// Support-vector regression model.
+    Svr(SvrModel),
+}
+
+impl Model for TrainedModel {
+    fn predict(&self, row: &[f64]) -> f64 {
+        match self {
+            TrainedModel::Linear(m) => m.predict(row),
+            TrainedModel::Svr(m) => m.predict(row),
+        }
+    }
+
+    fn n_features(&self) -> usize {
+        match self {
+            TrainedModel::Linear(m) => m.n_features(),
+            TrainedModel::Svr(m) => m.n_features(),
+        }
+    }
+}
+
+/// The two learner configurations used by the paper: linear regression for
+/// operator-level models, SVR for plan-level models.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum LearnerKind {
+    /// Ridge regression with the given regularization strength.
+    Linear {
+        /// L2 regularization strength.
+        ridge: f64,
+    },
+    /// Epsilon-SVR with the given hyper-parameters.
+    Svr(SvrParams),
+    /// nu-SVR (the paper's exact flavor) with the given hyper-parameters.
+    NuSvr(NuSvrParams),
+}
+
+impl Default for LearnerKind {
+    fn default() -> Self {
+        LearnerKind::Linear { ridge: 1e-6 }
+    }
+}
+
+impl Learner for LearnerKind {
+    fn fit(&self, x: &Dataset, y: &[f64]) -> Result<TrainedModel, MlError> {
+        match self {
+            LearnerKind::Linear { ridge } => LinearRegression::new(*ridge)
+                .fit(x, y)
+                .map(TrainedModel::Linear),
+            LearnerKind::Svr(params) => Svr::new(params.clone()).fit(x, y).map(TrainedModel::Svr),
+            LearnerKind::NuSvr(params) => {
+                NuSvr::new(params.clone()).fit(x, y).map(TrainedModel::Svr)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learner_kind_default_is_linear() {
+        match LearnerKind::default() {
+            LearnerKind::Linear { ridge } => assert!(ridge > 0.0),
+            _ => panic!("default learner should be linear"),
+        }
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = MlError::ShapeMismatch {
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains("expected 3"));
+        assert!(MlError::EmptyDataset.to_string().contains("empty"));
+        assert!(MlError::NotPositiveDefinite
+            .to_string()
+            .contains("positive definite"));
+    }
+
+    #[test]
+    fn trained_model_roundtrips_through_serde() {
+        let x = Dataset::from_rows(vec![vec![0.0], vec![1.0], vec![2.0]]);
+        let y = [1.0, 3.0, 5.0];
+        let m = LearnerKind::Linear { ridge: 0.0 }.fit(&x, &y).unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: TrainedModel = serde_json::from_str(&json).unwrap();
+        assert!((back.predict(&[3.0]) - 7.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,262 @@
+//! Small dense linear algebra: just enough to solve regularized
+//! least-squares systems via Cholesky factorization.
+//!
+//! Training sets here are small (≤ a few thousand rows, tens of features),
+//! so normal equations with a ridge term are numerically adequate and far
+//! simpler than QR/SVD.
+
+use crate::MlError;
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// A `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from nested rows.
+    ///
+    /// # Panics
+    /// Panics on ragged input.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut m = Matrix::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged matrix input");
+            for (j, v) in row.iter().enumerate() {
+                m[(i, j)] = *v;
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix-vector product `A v`.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            *o = dot(row, v);
+        }
+        out
+    }
+
+    /// In-place addition of `lambda` to the diagonal (ridge term).
+    pub fn add_diagonal(&mut self, lambda: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self[(i, i)] += lambda;
+        }
+    }
+
+    /// Cholesky factorization of a symmetric positive-definite matrix;
+    /// returns the lower-triangular factor `L` with `A = L Lᵀ`.
+    pub fn cholesky(&self) -> Result<Matrix, MlError> {
+        assert_eq!(self.rows, self.cols, "cholesky requires a square matrix");
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(MlError::NotPositiveDefinite);
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(l)
+    }
+
+    /// Solves `A x = b` for symmetric positive-definite `A` via Cholesky.
+    pub fn solve_spd(&self, b: &[f64]) -> Result<Vec<f64>, MlError> {
+        assert_eq!(b.len(), self.rows, "solve_spd dimension mismatch");
+        let l = self.cholesky()?;
+        let n = self.rows;
+        // Forward substitution: L z = b.
+        let mut z = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= l[(i, k)] * z[k];
+            }
+            z[i] = sum / l[(i, i)];
+        }
+        // Back substitution: Lᵀ x = z.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = z[i];
+            for k in (i + 1)..n {
+                sum -= l[(k, i)] * x[k];
+            }
+            x[i] = sum / l[(i, i)];
+        }
+        Ok(x)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Computes the Gram-style normal-equation system for least squares over
+/// rows with an implicit intercept column: returns `(XᵀX, Xᵀy)` where each
+/// design row is `[1, features...]`.
+pub fn normal_equations<'a, I>(rows: I, y: &[f64], n_features: usize) -> (Matrix, Vec<f64>)
+where
+    I: Iterator<Item = &'a [f64]>,
+{
+    let d = n_features + 1; // intercept
+    let mut xtx = Matrix::zeros(d, d);
+    let mut xty = vec![0.0; d];
+    let mut design = vec![0.0; d];
+    for (row, &target) in rows.zip(y) {
+        design[0] = 1.0;
+        design[1..].copy_from_slice(row);
+        for i in 0..d {
+            xty[i] += design[i] * target;
+            for j in i..d {
+                xtx[(i, j)] += design[i] * design[j];
+            }
+        }
+    }
+    // Mirror the upper triangle.
+    for i in 0..d {
+        for j in (i + 1)..d {
+            xtx[(j, i)] = xtx[(i, j)];
+        }
+    }
+    (xtx, xty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_indexing() {
+        let m = Matrix::identity(3);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 1)], 0.0);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    fn matvec_multiplies() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn cholesky_factors_spd_matrix() {
+        // A = [[4, 2], [2, 3]] is SPD; L = [[2, 0], [1, sqrt(2)]].
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        let l = a.cholesky().unwrap();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 1.0).abs() < 1e-12);
+        assert!((l[(1, 1)] - 2.0_f64.sqrt()).abs() < 1e-12);
+        assert_eq!(l[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
+        assert_eq!(a.cholesky(), Err(MlError::NotPositiveDefinite));
+    }
+
+    #[test]
+    fn solve_spd_recovers_solution() {
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        // b = A * [1, -2] = [0, -4].
+        let x = a.solve_spd(&[0.0, -4.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_diagonal_adds_ridge() {
+        let mut a = Matrix::zeros(2, 2);
+        a.add_diagonal(0.5);
+        assert_eq!(a[(0, 0)], 0.5);
+        assert_eq!(a[(1, 1)], 0.5);
+        assert_eq!(a[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn normal_equations_build_gram_system() {
+        // Rows [[1],[2]] with intercept; X = [[1,1],[1,2]].
+        let rows: Vec<Vec<f64>> = vec![vec![1.0], vec![2.0]];
+        let y = [2.0, 3.0];
+        let (xtx, xty) = normal_equations(rows.iter().map(Vec::as_slice), &y, 1);
+        assert_eq!(xtx[(0, 0)], 2.0); // sum 1
+        assert_eq!(xtx[(0, 1)], 3.0); // sum x
+        assert_eq!(xtx[(1, 0)], 3.0); // symmetric
+        assert_eq!(xtx[(1, 1)], 5.0); // sum x^2
+        assert_eq!(xty, vec![5.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_panics_on_mismatch() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

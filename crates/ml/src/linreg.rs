@@ -1,0 +1,161 @@
+//! Ordinary least squares / ridge regression.
+//!
+//! This is the model family the paper uses for operator-level models
+//! (via the Shark library). We solve the normal equations with a small
+//! ridge term through Cholesky factorization; if the system is still
+//! singular the ridge is escalated a few times before giving up.
+
+use crate::dataset::Dataset;
+use crate::linalg::{dot, normal_equations};
+use crate::MlError;
+use serde::{Deserialize, Serialize};
+
+/// Ridge-regularized linear regression learner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearRegression {
+    /// L2 regularization strength added to the normal-equation diagonal.
+    pub ridge: f64,
+}
+
+impl LinearRegression {
+    /// Creates a learner with the given ridge strength (0 = plain OLS,
+    /// though a tiny ridge is recommended for near-collinear features).
+    pub fn new(ridge: f64) -> Self {
+        LinearRegression { ridge }
+    }
+
+    /// Fits the model on `x` (rows × features) and targets `y`.
+    pub fn fit(&self, x: &Dataset, y: &[f64]) -> Result<LinearModel, MlError> {
+        x.check_targets(y)?;
+        if self.ridge < 0.0 {
+            return Err(MlError::InvalidParameter("ridge must be non-negative"));
+        }
+        let (mut xtx, xty) = normal_equations(x.rows(), y, x.n_cols());
+        // Escalate the ridge a few times if the Gram matrix is singular
+        // (e.g. duplicate or constant feature columns).
+        let mut lambda = self.ridge.max(0.0);
+        for attempt in 0..6 {
+            let mut sys = xtx.clone();
+            if lambda > 0.0 {
+                sys.add_diagonal(lambda);
+            }
+            match sys.solve_spd(&xty) {
+                Ok(beta) => {
+                    return Ok(LinearModel {
+                        intercept: beta[0],
+                        weights: beta[1..].to_vec(),
+                    })
+                }
+                Err(MlError::NotPositiveDefinite) if attempt < 5 => {
+                    lambda = if lambda == 0.0 { 1e-8 } else { lambda * 100.0 };
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Keep the borrow checker quiet; unreachable because the last loop
+        // iteration returns either Ok or Err.
+        let _ = &mut xtx;
+        Err(MlError::NotPositiveDefinite)
+    }
+}
+
+/// A fitted linear model `y = intercept + w · x`.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct LinearModel {
+    /// Bias term.
+    pub intercept: f64,
+    /// Per-feature weights.
+    pub weights: Vec<f64>,
+}
+
+impl LinearModel {
+    /// Predicts the target for one feature row.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        assert_eq!(
+            row.len(),
+            self.weights.len(),
+            "linear model expects {} features, got {}",
+            self.weights.len(),
+            row.len()
+        );
+        self.intercept + dot(&self.weights, row)
+    }
+
+    /// Number of input features.
+    pub fn n_features(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_function() {
+        // y = 2 + 3a - b
+        let x = Dataset::from_rows(vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![2.0, 3.0],
+        ]);
+        let y: Vec<f64> = x.rows().map(|r| 2.0 + 3.0 * r[0] - r[1]).collect();
+        let m = LinearRegression::new(0.0).fit(&x, &y).unwrap();
+        assert!((m.intercept - 2.0).abs() < 1e-9);
+        assert!((m.weights[0] - 3.0).abs() < 1e-9);
+        assert!((m.weights[1] + 1.0).abs() < 1e-9);
+        assert!((m.predict(&[5.0, 5.0]) - 12.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn handles_duplicate_columns_via_ridge_escalation() {
+        // Two identical columns make XtX singular with ridge = 0; the fit
+        // must still succeed by escalating the ridge internally.
+        let x = Dataset::from_rows(vec![
+            vec![1.0, 1.0],
+            vec![2.0, 2.0],
+            vec![3.0, 3.0],
+            vec![4.0, 4.0],
+        ]);
+        let y = vec![2.0, 4.0, 6.0, 8.0];
+        let m = LinearRegression::new(0.0).fit(&x, &y).unwrap();
+        assert!((m.predict(&[5.0, 5.0]) - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ridge_shrinks_weights() {
+        let x = Dataset::from_rows(vec![vec![1.0], vec![2.0], vec![3.0], vec![4.0]]);
+        let y = vec![1.0, 2.0, 3.0, 4.0];
+        let ols = LinearRegression::new(0.0).fit(&x, &y).unwrap();
+        let heavy = LinearRegression::new(100.0).fit(&x, &y).unwrap();
+        assert!(heavy.weights[0].abs() < ols.weights[0].abs());
+    }
+
+    #[test]
+    fn rejects_negative_ridge_and_bad_shapes() {
+        let x = Dataset::from_rows(vec![vec![1.0]]);
+        assert_eq!(
+            LinearRegression::new(-1.0).fit(&x, &[1.0]),
+            Err(MlError::InvalidParameter("ridge must be non-negative"))
+        );
+        assert_eq!(
+            LinearRegression::new(0.0).fit(&x, &[1.0, 2.0]),
+            Err(MlError::ShapeMismatch {
+                expected: 1,
+                got: 2
+            })
+        );
+        assert_eq!(
+            LinearRegression::new(0.0).fit(&Dataset::new(1), &[]),
+            Err(MlError::EmptyDataset)
+        );
+    }
+
+    #[test]
+    fn constant_target_yields_constant_model() {
+        let x = Dataset::from_rows(vec![vec![1.0], vec![2.0], vec![3.0]]);
+        let m = LinearRegression::new(1e-6).fit(&x, &[5.0, 5.0, 5.0]).unwrap();
+        assert!((m.predict(&[10.0]) - 5.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,143 @@
+//! Z-score standardization of feature columns.
+//!
+//! SVR with an RBF kernel is scale-sensitive, and the plan-level features
+//! span many orders of magnitude (costs in the millions next to operator
+//! counts below ten), so features are standardized before training.
+
+use crate::dataset::Dataset;
+use crate::stats;
+use serde::{Deserialize, Serialize};
+
+/// Per-column standardizer: `x' = (x - mean) / std`.
+///
+/// Columns that are constant in the training data get `std = 1` so they map
+/// to zero rather than NaN.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits column means and standard deviations on `x`.
+    pub fn fit(x: &Dataset) -> Self {
+        let mut means = Vec::with_capacity(x.n_cols());
+        let mut stds = Vec::with_capacity(x.n_cols());
+        for j in 0..x.n_cols() {
+            let col = x.column(j);
+            means.push(stats::mean(&col));
+            let sd = stats::std_dev(&col);
+            stds.push(if sd > f64::EPSILON { sd } else { 1.0 });
+        }
+        StandardScaler { means, stds }
+    }
+
+    /// Number of columns this scaler was fit on.
+    pub fn n_cols(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Standardizes a whole dataset.
+    pub fn transform(&self, x: &Dataset) -> Dataset {
+        let mut out = Dataset::new(x.n_cols());
+        let mut buf = vec![0.0; x.n_cols()];
+        for row in x.rows() {
+            self.transform_row_into(row, &mut buf);
+            out.push_row(&buf);
+        }
+        out
+    }
+
+    /// Standardizes one row into a fresh vector.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; row.len()];
+        self.transform_row_into(row, &mut out);
+        out
+    }
+
+    /// Standardizes one row into the provided buffer.
+    ///
+    /// # Panics
+    /// Panics if lengths disagree with the fitted column count.
+    pub fn transform_row_into(&self, row: &[f64], out: &mut [f64]) {
+        assert_eq!(row.len(), self.means.len(), "scaler column mismatch");
+        assert_eq!(out.len(), self.means.len(), "scaler buffer mismatch");
+        for j in 0..row.len() {
+            out[j] = (row[j] - self.means[j]) / self.stds[j];
+        }
+    }
+}
+
+/// Standardizer for the target vector; used so SVR's epsilon-tube width is
+/// expressed in target standard deviations.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct TargetScaler {
+    mean: f64,
+    std: f64,
+}
+
+impl TargetScaler {
+    /// Fits on the target values.
+    pub fn fit(y: &[f64]) -> Self {
+        let sd = stats::std_dev(y);
+        TargetScaler {
+            mean: stats::mean(y),
+            std: if sd > f64::EPSILON { sd } else { 1.0 },
+        }
+    }
+
+    /// Scales targets to zero mean, unit variance.
+    pub fn transform(&self, y: &[f64]) -> Vec<f64> {
+        y.iter().map(|v| (v - self.mean) / self.std).collect()
+    }
+
+    /// Maps a model output back to the original target scale.
+    pub fn inverse(&self, v: f64) -> f64 {
+        v * self.std + self.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_columns() {
+        let x = Dataset::from_rows(vec![vec![1.0, 10.0], vec![3.0, 30.0], vec![5.0, 50.0]]);
+        let scaler = StandardScaler::fit(&x);
+        let t = x.rows().map(|r| scaler.transform_row(r)).last().unwrap();
+        // Column means are (3, 30); last row should be positive in both.
+        assert!(t[0] > 0.0 && t[1] > 0.0);
+        let scaled = scaler.transform(&x);
+        for j in 0..2 {
+            let col = scaled.column(j);
+            assert!(crate::stats::mean(&col).abs() < 1e-12);
+            assert!((crate::stats::std_dev(&col) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_column_maps_to_zero() {
+        let x = Dataset::from_rows(vec![vec![7.0], vec![7.0], vec![7.0]]);
+        let scaler = StandardScaler::fit(&x);
+        assert_eq!(scaler.transform_row(&[7.0]), vec![0.0]);
+        // And unseen values stay finite.
+        assert!(scaler.transform_row(&[9.0])[0].is_finite());
+    }
+
+    #[test]
+    fn target_scaler_roundtrips() {
+        let y = [10.0, 20.0, 30.0];
+        let ts = TargetScaler::fit(&y);
+        let scaled = ts.transform(&y);
+        for (orig, s) in y.iter().zip(&scaled) {
+            assert!((ts.inverse(*s) - orig).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn target_scaler_constant_is_safe() {
+        let ts = TargetScaler::fit(&[5.0, 5.0]);
+        assert_eq!(ts.inverse(ts.transform(&[5.0])[0]), 5.0);
+    }
+}

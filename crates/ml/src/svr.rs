@@ -1,0 +1,456 @@
+//! Epsilon support-vector regression trained with an SMO solver.
+//!
+//! The paper uses libsvm's nu-SVR for plan-level models. We implement the
+//! closely-related epsilon-SVR (same model family and kernel machinery;
+//! epsilon parameterizes the tube width directly instead of nu). The dual
+//! problem is solved with a libsvm-style sequential minimal optimization
+//! (SMO) loop using maximal-violating-pair working-set selection.
+//!
+//! Features and targets are standardized internally (see [`crate::scaler`]),
+//! so `epsilon` is expressed in target standard deviations and the default
+//! RBF `gamma` of `1 / n_features` is meaningful.
+
+use crate::dataset::Dataset;
+use crate::scaler::{StandardScaler, TargetScaler};
+use crate::MlError;
+use serde::{Deserialize, Serialize};
+
+/// Kernel functions for SVR.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+pub enum Kernel {
+    /// Dot-product kernel (linear SVR).
+    Linear,
+    /// Radial basis function `exp(-gamma * ||a - b||^2)`.
+    Rbf {
+        /// Bandwidth; `gamma <= 0` selects `1 / n_features` at fit time.
+        gamma: f64,
+    },
+}
+
+impl Kernel {
+    pub(crate) fn eval(&self, a: &[f64], b: &[f64], resolved_gamma: f64) -> f64 {
+        match self {
+            Kernel::Linear => a.iter().zip(b).map(|(x, y)| x * y).sum(),
+            Kernel::Rbf { .. } => {
+                let sq: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+                (-resolved_gamma * sq).exp()
+            }
+        }
+    }
+}
+
+/// Hyper-parameters for epsilon-SVR.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct SvrParams {
+    /// Box constraint (regularization/cost); larger fits harder.
+    pub c: f64,
+    /// Half-width of the insensitive tube, in target standard deviations.
+    pub epsilon: f64,
+    /// Kernel.
+    pub kernel: Kernel,
+    /// KKT-violation tolerance for the SMO stopping rule.
+    pub tol: f64,
+    /// Hard cap on SMO iterations (each optimizes one variable pair).
+    pub max_iter: usize,
+}
+
+impl Default for SvrParams {
+    fn default() -> Self {
+        SvrParams {
+            c: 10.0,
+            epsilon: 0.05,
+            kernel: Kernel::Rbf { gamma: 0.0 },
+            tol: 1e-3,
+            max_iter: 200_000,
+        }
+    }
+}
+
+/// Epsilon-SVR learner.
+#[derive(Debug, Clone)]
+pub struct Svr {
+    params: SvrParams,
+}
+
+impl Svr {
+    /// Creates a learner with the given hyper-parameters.
+    pub fn new(params: SvrParams) -> Self {
+        Svr { params }
+    }
+
+    /// Fits the SVR on `x` and `y`; returns a dense model holding the
+    /// support vectors and coefficients.
+    pub fn fit(&self, x: &Dataset, y: &[f64]) -> Result<SvrModel, MlError> {
+        x.check_targets(y)?;
+        let p = &self.params;
+        if p.c <= 0.0 {
+            return Err(MlError::InvalidParameter("C must be positive"));
+        }
+        if p.epsilon < 0.0 {
+            return Err(MlError::InvalidParameter("epsilon must be non-negative"));
+        }
+
+        let x_scaler = StandardScaler::fit(x);
+        let y_scaler = TargetScaler::fit(y);
+        let xs = x_scaler.transform(x);
+        let ys = y_scaler.transform(y);
+
+        let gamma = match p.kernel {
+            Kernel::Rbf { gamma } if gamma > 0.0 => gamma,
+            Kernel::Rbf { .. } => 1.0 / x.n_cols().max(1) as f64,
+            Kernel::Linear => 0.0,
+        };
+
+        let (beta, bias) = smo_solve(&xs, &ys, p, gamma);
+
+        // Keep only support vectors (nonzero coefficients).
+        let mut support = Vec::new();
+        let mut coefs = Vec::new();
+        for (i, &b) in beta.iter().enumerate() {
+            if b.abs() > 1e-12 {
+                support.push(xs.row(i).to_vec());
+                coefs.push(b);
+            }
+        }
+
+        Ok(SvrModel {
+            kernel: p.kernel,
+            gamma,
+            support_vectors: support,
+            coefficients: coefs,
+            bias,
+            x_scaler,
+            y_scaler,
+            n_features: x.n_cols(),
+        })
+    }
+}
+
+/// SMO over the 2l-variable epsilon-SVR dual (libsvm formulation):
+/// variables `a`, signs `s_t` (+1 for the alpha block, -1 for alpha*),
+/// linear term `p_t = eps - y` / `eps + y`, constraint `sum s_t a_t = 0`,
+/// box `[0, C]`. Returns `(beta, bias)` with `beta_i = a_i - a_{i+l}`.
+fn smo_solve(xs: &Dataset, ys: &[f64], p: &SvrParams, gamma: f64) -> (Vec<f64>, f64) {
+    let l = xs.n_rows();
+    let n = 2 * l;
+    let c = p.c;
+
+    // Dense kernel matrix; training sets are small (<= a few thousand rows).
+    let mut k = vec![0.0f64; l * l];
+    for i in 0..l {
+        for j in 0..=i {
+            let v = p.kernel.eval(xs.row(i), xs.row(j), gamma);
+            k[i * l + j] = v;
+            k[j * l + i] = v;
+        }
+    }
+    let kij = |i: usize, j: usize| k[i * l + j];
+    let sign = |t: usize| if t < l { 1.0 } else { -1.0 };
+    let idx = |t: usize| if t < l { t } else { t - l };
+
+    let mut a = vec![0.0f64; n];
+    // Gradient G_t = sum_u Qbar_tu a_u + p_t; starts at p_t since a = 0.
+    let mut g: Vec<f64> = (0..n)
+        .map(|t| {
+            if t < l {
+                p.epsilon - ys[t]
+            } else {
+                p.epsilon + ys[t - l]
+            }
+        })
+        .collect();
+
+    for _iter in 0..p.max_iter {
+        // Working-set selection: maximal violating pair.
+        let mut i_sel = usize::MAX;
+        let mut g_max = f64::NEG_INFINITY;
+        let mut j_sel = usize::MAX;
+        let mut g_min = f64::INFINITY;
+        for t in 0..n {
+            let s = sign(t);
+            let in_up = (s > 0.0 && a[t] < c) || (s < 0.0 && a[t] > 0.0);
+            let in_low = (s > 0.0 && a[t] > 0.0) || (s < 0.0 && a[t] < c);
+            let v = -s * g[t];
+            if in_up && v > g_max {
+                g_max = v;
+                i_sel = t;
+            }
+            if in_low && v < g_min {
+                g_min = v;
+                j_sel = t;
+            }
+        }
+        if i_sel == usize::MAX || j_sel == usize::MAX || g_max - g_min < p.tol {
+            break;
+        }
+        let (i, j) = (i_sel, j_sel);
+        let (si, sj) = (sign(i), sign(j));
+        let (ii, jj) = (idx(i), idx(j));
+        let q_ii = kij(ii, ii);
+        let q_jj = kij(jj, jj);
+        let q_ij_signed = si * sj * kij(ii, jj);
+
+        let old_ai = a[i];
+        let old_aj = a[j];
+
+        if (si - sj).abs() > 0.5 {
+            // Opposite signs.
+            let quad = (q_ii + q_jj + 2.0 * q_ij_signed).max(1e-12);
+            let delta = (-g[i] - g[j]) / quad;
+            let diff = a[i] - a[j];
+            a[i] += delta;
+            a[j] += delta;
+            if diff > 0.0 {
+                if a[j] < 0.0 {
+                    a[j] = 0.0;
+                    a[i] = diff;
+                }
+            } else if a[i] < 0.0 {
+                a[i] = 0.0;
+                a[j] = -diff;
+            }
+            if diff > 0.0 {
+                if a[i] > c {
+                    a[i] = c;
+                    a[j] = c - diff;
+                }
+            } else if a[j] > c {
+                a[j] = c;
+                a[i] = c + diff;
+            }
+        } else {
+            // Same signs.
+            let quad = (q_ii + q_jj - 2.0 * q_ij_signed).max(1e-12);
+            let delta = (g[i] - g[j]) / quad;
+            let sum = a[i] + a[j];
+            a[i] -= delta;
+            a[j] += delta;
+            if sum > c {
+                if a[i] > c {
+                    a[i] = c;
+                    a[j] = sum - c;
+                } else if a[j] > c {
+                    a[j] = c;
+                    a[i] = sum - c;
+                }
+            } else if a[j] < 0.0 {
+                a[j] = 0.0;
+                a[i] = sum;
+            } else if a[i] < 0.0 {
+                a[i] = 0.0;
+                a[j] = sum;
+            }
+        }
+        // Clamp against numerical drift.
+        a[i] = a[i].clamp(0.0, c);
+        a[j] = a[j].clamp(0.0, c);
+
+        let da_i = a[i] - old_ai;
+        let da_j = a[j] - old_aj;
+        if da_i.abs() < 1e-15 && da_j.abs() < 1e-15 {
+            break;
+        }
+        for (t, gt) in g.iter_mut().enumerate() {
+            let st = sign(t);
+            let ti = idx(t);
+            *gt += st * si * kij(ti, ii) * da_i + st * sj * kij(ti, jj) * da_j;
+        }
+    }
+
+    // Bias: for free variables, rho = -s_t G_t equals the primal bias b.
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for t in 0..n {
+        let s = sign(t);
+        if a[t] > 1e-12 && a[t] < c - 1e-12 {
+            sum += -s * g[t];
+            count += 1;
+        }
+    }
+    let bias = if count > 0 {
+        sum / count as f64
+    } else {
+        // No free variables: use the midpoint of the violating-pair bounds.
+        let mut g_max = f64::NEG_INFINITY;
+        let mut g_min = f64::INFINITY;
+        for t in 0..n {
+            let s = sign(t);
+            let in_up = (s > 0.0 && a[t] < c) || (s < 0.0 && a[t] > 0.0);
+            let in_low = (s > 0.0 && a[t] > 0.0) || (s < 0.0 && a[t] < c);
+            let v = -s * g[t];
+            if in_up {
+                g_max = g_max.max(v);
+            }
+            if in_low {
+                g_min = g_min.min(v);
+            }
+        }
+        if g_max.is_finite() && g_min.is_finite() {
+            (g_max + g_min) / 2.0
+        } else {
+            0.0
+        }
+    };
+
+    let beta: Vec<f64> = (0..l).map(|i| a[i] - a[i + l]).collect();
+    (beta, bias)
+}
+
+/// A fitted SVR model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SvrModel {
+    pub(crate) kernel: Kernel,
+    pub(crate) gamma: f64,
+    pub(crate) support_vectors: Vec<Vec<f64>>,
+    pub(crate) coefficients: Vec<f64>,
+    pub(crate) bias: f64,
+    pub(crate) x_scaler: StandardScaler,
+    pub(crate) y_scaler: TargetScaler,
+    pub(crate) n_features: usize,
+}
+
+impl SvrModel {
+    /// Predicts the target for one (unscaled) feature row.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        assert_eq!(
+            row.len(),
+            self.n_features,
+            "svr model expects {} features, got {}",
+            self.n_features,
+            row.len()
+        );
+        let xr = self.x_scaler.transform_row(row);
+        let mut acc = self.bias;
+        for (sv, coef) in self.support_vectors.iter().zip(&self.coefficients) {
+            acc += coef * self.kernel.eval(sv, &xr, self.gamma);
+        }
+        self.y_scaler.inverse(acc)
+    }
+
+    /// Number of input features.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of support vectors retained.
+    pub fn n_support_vectors(&self) -> usize {
+        self.support_vectors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mean_relative_error;
+
+    fn grid_2d() -> (Dataset, Vec<f64>) {
+        let mut rows = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                rows.push(vec![i as f64, j as f64]);
+            }
+        }
+        let ds = Dataset::from_rows(rows);
+        let y = ds.rows().map(|r| 3.0 * r[0] + 2.0 * r[1] + 10.0).collect();
+        (ds, y)
+    }
+
+    #[test]
+    fn linear_kernel_fits_linear_function() {
+        let (x, y) = grid_2d();
+        let m = Svr::new(SvrParams {
+            kernel: Kernel::Linear,
+            epsilon: 0.01,
+            c: 100.0,
+            ..SvrParams::default()
+        })
+        .fit(&x, &y)
+        .unwrap();
+        let preds: Vec<f64> = x.rows().map(|r| m.predict(r)).collect();
+        assert!(mean_relative_error(&y, &preds) < 0.05);
+        // Extrapolation is linear too.
+        let p = m.predict(&[12.0, 12.0]);
+        assert!((p - 70.0).abs() / 70.0 < 0.15, "extrapolated {p}");
+    }
+
+    #[test]
+    fn rbf_kernel_fits_smooth_nonlinear_function() {
+        let mut rows = Vec::new();
+        for i in 0..60 {
+            rows.push(vec![i as f64 / 10.0]);
+        }
+        let x = Dataset::from_rows(rows);
+        let y: Vec<f64> = x.rows().map(|r| (r[0]).sin() * 5.0 + 10.0).collect();
+        let m = Svr::new(SvrParams {
+            epsilon: 0.02,
+            c: 50.0,
+            ..SvrParams::default()
+        })
+        .fit(&x, &y)
+        .unwrap();
+        let preds: Vec<f64> = x.rows().map(|r| m.predict(r)).collect();
+        assert!(mean_relative_error(&y, &preds) < 0.05);
+    }
+
+    #[test]
+    fn epsilon_tube_limits_support_vectors() {
+        let (x, y) = grid_2d();
+        let tight = Svr::new(SvrParams {
+            kernel: Kernel::Linear,
+            epsilon: 0.001,
+            c: 10.0,
+            ..SvrParams::default()
+        })
+        .fit(&x, &y)
+        .unwrap();
+        let loose = Svr::new(SvrParams {
+            kernel: Kernel::Linear,
+            epsilon: 1.0,
+            c: 10.0,
+            ..SvrParams::default()
+        })
+        .fit(&x, &y)
+        .unwrap();
+        // A wide tube swallows most points -> far fewer support vectors.
+        assert!(loose.n_support_vectors() <= tight.n_support_vectors());
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let (x, y) = grid_2d();
+        assert!(matches!(
+            Svr::new(SvrParams {
+                c: 0.0,
+                ..SvrParams::default()
+            })
+            .fit(&x, &y),
+            Err(MlError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            Svr::new(SvrParams {
+                epsilon: -1.0,
+                ..SvrParams::default()
+            })
+            .fit(&x, &y),
+            Err(MlError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn constant_target_predicts_constant() {
+        let x = Dataset::from_rows(vec![vec![1.0], vec![2.0], vec![3.0]]);
+        let y = [7.0, 7.0, 7.0];
+        let m = Svr::new(SvrParams::default()).fit(&x, &y).unwrap();
+        assert!((m.predict(&[2.5]) - 7.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn model_roundtrips_through_serde() {
+        let (x, y) = grid_2d();
+        let m = Svr::new(SvrParams::default()).fit(&x, &y).unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: SvrModel = serde_json::from_str(&json).unwrap();
+        let r = x.row(42);
+        assert!((m.predict(r) - back.predict(r)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property checks over the 22 template definitions: parameter ranges,
+//! structural stability, and selectivity sanity.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tpch::spec::{GroupCount, Predicate, RelExpr};
+use tpch::{instantiate, ALL_TEMPLATES};
+
+/// Every template's scans only reference columns of their own table, and
+/// every join connects columns of the two sides' base tables.
+#[test]
+fn predicates_and_joins_are_well_typed() {
+    for t in ALL_TEMPLATES {
+        let mut rng = StdRng::seed_from_u64(t as u64 * 31);
+        for _ in 0..5 {
+            let q = instantiate(t, 1.0, &mut rng);
+            q.root.visit(&mut |e| {
+                if let RelExpr::Scan { table, filters, .. } = e {
+                    for f in filters {
+                        assert_eq!(
+                            f.column().table,
+                            *table,
+                            "t{t}: filter column from another table"
+                        );
+                        if let Predicate::ColCmp { left, right, .. } = f {
+                            assert_eq!(left.table, right.table, "t{t}: cross-table ColCmp");
+                        }
+                    }
+                }
+            });
+        }
+    }
+}
+
+/// Truth overrides and corrections are valid probabilities/multipliers.
+#[test]
+fn truth_knobs_are_sane() {
+    for t in ALL_TEMPLATES {
+        let mut rng = StdRng::seed_from_u64(t as u64 * 17);
+        let q = instantiate(t, 1.0, &mut rng);
+        q.root.visit(&mut |e| match e {
+            RelExpr::Scan {
+                truth_sel_override: Some(s),
+                ..
+            } => {
+                assert!((0.0..=1.0).contains(s), "t{t}: override {s}");
+            }
+            RelExpr::Join {
+                kind,
+                truth_correction,
+                extra_filter_sel,
+                ..
+            } => {
+                assert!(*truth_correction >= 0.0, "t{t}");
+                assert!(
+                    (0.0..=1.0).contains(extra_filter_sel),
+                    "t{t}: extra {extra_filter_sel}"
+                );
+                if matches!(kind, tpch::JoinKind::Semi | tpch::JoinKind::Anti) {
+                    assert!(
+                        *truth_correction <= 1.0,
+                        "t{t}: semi/anti retains at most all rows"
+                    );
+                }
+            }
+            RelExpr::ScalarSubqueryFilter { truth_sel, .. } => {
+                assert!((0.0..=1.0).contains(truth_sel), "t{t}: {truth_sel}");
+            }
+            RelExpr::Aggregate { spec, .. } => {
+                if let Some(h) = &spec.having {
+                    assert!((0.0..=1.0).contains(&h.truth_fraction), "t{t}");
+                }
+                if let GroupCount::Fixed(f) = spec.groups {
+                    assert!(f >= 1.0, "t{t}: fixed groups {f}");
+                }
+            }
+            _ => {}
+        });
+    }
+}
+
+/// Plan structure (table multiset) is stable across parameterizations of
+/// the same template; only parameters vary.
+#[test]
+fn structure_is_parameter_independent() {
+    for t in ALL_TEMPLATES {
+        let mut rng = StdRng::seed_from_u64(t as u64);
+        let tables = |q: &tpch::QuerySpec| {
+            let mut v = q.root.tables();
+            v.sort();
+            v
+        };
+        let first = tables(&instantiate(t, 1.0, &mut rng));
+        for _ in 0..6 {
+            assert_eq!(tables(&instantiate(t, 1.0, &mut rng)), first, "t{t}");
+        }
+    }
+}
+
+/// The lineitem-heavy templates actually touch LINEITEM; the tiny lookups
+/// don't.
+#[test]
+fn table_footprints_match_the_spec() {
+    use tpch::TableId::*;
+    let mut rng = StdRng::seed_from_u64(5);
+    for (t, must_touch) in [(1u8, Lineitem), (9, Partsupp), (13, Orders), (22, Customer)] {
+        let q = instantiate(t, 1.0, &mut rng);
+        assert!(q.root.tables().contains(&must_touch), "t{t}");
+    }
+    // Template 11 never touches lineitem.
+    let q11 = instantiate(11, 1.0, &mut rng);
+    assert!(!q11.root.tables().contains(&Lineitem));
+}
+
+/// Parameters drawn per the spec stay within the spec's windows.
+#[test]
+fn parameters_stay_in_spec_windows() {
+    let mut rng = StdRng::seed_from_u64(77);
+    for _ in 0..30 {
+        let q1 = instantiate(1, 1.0, &mut rng);
+        let delta: i32 = q1.params[0].1.parse().unwrap();
+        assert!((60..=120).contains(&delta));
+
+        let q6 = instantiate(6, 1.0, &mut rng);
+        let qty: i32 = q6
+            .params
+            .iter()
+            .find(|(k, _)| k == "quantity")
+            .unwrap()
+            .1
+            .parse()
+            .unwrap();
+        assert!((24..=25).contains(&qty));
+
+        let q18 = instantiate(18, 1.0, &mut rng);
+        let q: f64 = q18.params[0].1.parse().unwrap();
+        assert!((312.0..=315.0).contains(&q));
+    }
+}
+
+/// Workload instances of the same template differ in parameters (no
+/// degenerate constant workloads) for the parameterized templates.
+#[test]
+fn instances_vary() {
+    for t in [1u8, 3, 4, 5, 6, 8, 10, 12, 14, 19] {
+        let w = tpch::Workload::generate(&[t], 12, 1.0, 3);
+        let distinct: std::collections::HashSet<String> = w
+            .queries
+            .iter()
+            .map(|q| format!("{:?}", q.params))
+            .collect();
+        assert!(distinct.len() > 1, "t{t}: constant parameters");
+    }
+}

@@ -1,0 +1,57 @@
+//! Progressive prediction: refine the latency estimate *while the query
+//! runs*, as operators complete and their true times become known — the
+//! extension sketched in the paper's conclusions.
+//!
+//! ```text
+//! cargo run --release --example progressive_prediction
+//! ```
+
+use engine::{Catalog, SimConfig, Simulator};
+use ml::metrics::relative_error;
+use qpp::hybrid::HybridModel;
+use qpp::op_model::{OpLevelModel, OpModelConfig};
+use qpp::progressive::trajectory;
+use qpp::{ExecutedQuery, QueryDataset};
+use tpch::Workload;
+
+fn main() {
+    let sf = 0.5;
+    let catalog = Catalog::new(sf, 1);
+    let simulator = Simulator::with_config(SimConfig {
+        additive_noise_secs: 0.1,
+        ..SimConfig::default()
+    });
+
+    let training = Workload::generate(&[1, 3, 5, 9, 12], 12, sf, 42);
+    let ds = QueryDataset::execute(&catalog, &training, &simulator, 7, f64::INFINITY);
+    let refs: Vec<&ExecutedQuery> = ds.queries.iter().collect();
+    let op = OpLevelModel::train(&refs, &OpModelConfig::default()).expect("training");
+    let model = HybridModel::operator_only(op);
+
+    // Watch one long-running query refine.
+    let incoming = Workload::generate(&[9], 3, sf, 777);
+    let queries = QueryDataset::execute(&catalog, &incoming, &simulator, 99, f64::INFINITY);
+    let fractions = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9];
+
+    for q in &queries.queries {
+        println!(
+            "template {} — true latency {:.1}s",
+            q.template,
+            q.latency()
+        );
+        println!("{:>10} {:>14} {:>10}", "progress", "prediction (s)", "error");
+        for (f, p) in trajectory(&model, q, &fractions) {
+            println!(
+                "{:>9.0}% {:>14.1} {:>9.1}%",
+                f * 100.0,
+                p,
+                relative_error(q.latency(), p) * 100.0
+            );
+        }
+        println!();
+    }
+    println!(
+        "as operators finish, their observed times replace model estimates\n\
+         in the composition — the prediction converges to the truth"
+    );
+}

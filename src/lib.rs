@@ -1,0 +1,21 @@
+//! Facade crate for the QPP reproduction workspace.
+//!
+//! Re-exports the four library crates under stable names so the root-level
+//! examples and integration tests can reach everything through one
+//! dependency:
+//!
+//! - [`tpch`] — TPC-H substrate (schema, statistics, data generator, query
+//!   templates, workloads).
+//! - [`engine`] — DBMS substrate (catalog, histograms, planner, cost model,
+//!   execution simulator, mini executor).
+//! - [`ml`] — learning substrate (linear regression, SVR, feature selection,
+//!   cross-validation, metrics).
+//! - [`qpp`] — the paper's contribution (plan-level, operator-level, hybrid
+//!   and online query performance prediction).
+
+#![warn(missing_docs)]
+
+pub use engine;
+pub use ml;
+pub use qpp;
+pub use tpch;

@@ -1,0 +1,203 @@
+//! Property-based tests over the core invariants of every layer.
+
+use engine::{Catalog, Planner, SimConfig, Simulator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tpch::schema::{col, TableId, ALL_TABLES};
+use tpch::types::CmpOp;
+
+fn any_table() -> impl Strategy<Value = TableId> {
+    prop::sample::select(ALL_TABLES.to_vec())
+}
+
+fn any_cmp() -> impl Strategy<Value = CmpOp> {
+    prop::sample::select(vec![
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every truth selectivity is a probability, for every column, any
+    /// operator, any value — including values far outside the domain.
+    #[test]
+    fn truth_selectivity_is_a_probability(
+        table in any_table(),
+        col_pick in 0usize..16,
+        op in any_cmp(),
+        value in -1.0e7f64..1.0e7,
+        sf in 0.01f64..10.0,
+    ) {
+        let cols = table.columns();
+        let c = col(table, cols[col_pick % cols.len()]);
+        let s = tpch::distributions::selectivity(c, op, value, sf);
+        prop_assert!((0.0..=1.0).contains(&s), "{c} {op:?} {value}: {s}");
+    }
+
+    /// Between-selectivity is monotone in the interval width.
+    #[test]
+    fn between_selectivity_is_monotone(
+        lo in 0.0f64..2000.0,
+        width1 in 0.0f64..500.0,
+        extra in 0.0f64..500.0,
+    ) {
+        let c = col(TableId::Lineitem, "l_shipdate");
+        let narrow = tpch::distributions::between_selectivity(c, lo, lo + width1, 1.0);
+        let wide = tpch::distributions::between_selectivity(c, lo, lo + width1 + extra, 1.0);
+        prop_assert!(wide + 1e-12 >= narrow);
+    }
+
+    /// Histogram CDFs are monotone and bounded for every column.
+    #[test]
+    fn histogram_cdf_is_monotone(
+        table in any_table(),
+        col_pick in 0usize..16,
+        seed in 0u64..50,
+        probes in prop::collection::vec(-100.0f64..5000.0, 2..12),
+    ) {
+        let cols = table.columns();
+        let c = col(table, cols[col_pick % cols.len()]);
+        let h = engine::histogram::Histogram::build(c, 1.0, seed);
+        let mut sorted = probes.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = -1e-12;
+        for v in sorted {
+            let p = h.cdf(v);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(p + 1e-12 >= prev);
+            prev = p;
+        }
+    }
+
+    /// Cardenas never exceeds either bound.
+    #[test]
+    fn cardenas_respects_bounds(d in 1.0f64..1e8, n in 0.0f64..1e9) {
+        let g = engine::estimator::cardenas(d, n);
+        prop_assert!(g <= d + 1e-6);
+        prop_assert!(g <= n + 1e-6 || n < 1.0);
+        prop_assert!(g >= 0.0);
+    }
+
+    /// Planning and simulating any template at any seed yields finite,
+    /// ordered timings; the same seed reproduces the same trace.
+    #[test]
+    fn simulation_invariants(template in prop::sample::select(tpch::ALL_TEMPLATES.to_vec()),
+                             seed in 0u64..1000) {
+        let catalog = Catalog::new(0.1, 1);
+        let planner = Planner::new(&catalog);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = tpch::instantiate(template, 0.1, &mut rng);
+        let plan = planner.plan(&spec);
+        let sim = Simulator::new();
+        let a = sim.execute(&plan, 0.1, seed);
+        let b = sim.execute(&plan, 0.1, seed);
+        prop_assert_eq!(a.total_secs, b.total_secs);
+        prop_assert!(a.total_secs.is_finite() && a.total_secs > 0.0);
+        for t in &a.timings {
+            prop_assert!(t.start.is_finite() && t.run.is_finite());
+            prop_assert!(t.start >= 0.0);
+            prop_assert!(t.run >= t.start * 0.999);
+            prop_assert!(t.run <= a.timings[0].run * 1.0001);
+        }
+    }
+
+    /// Plan-level features are finite and structurally consistent for
+    /// every template/seed/scale combination.
+    #[test]
+    fn plan_features_are_finite(template in prop::sample::select(tpch::ALL_TEMPLATES.to_vec()),
+                                seed in 0u64..200,
+                                sf in prop::sample::select(vec![0.05, 0.5, 2.0])) {
+        let catalog = Catalog::new(sf, 1);
+        let planner = Planner::new(&catalog);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = planner.plan(&tpch::instantiate(template, sf, &mut rng));
+        let views = qpp::features::node_views(&plan, qpp::FeatureSource::Estimated, None);
+        let f = qpp::plan_features(&plan, &views);
+        prop_assert_eq!(f.len(), qpp::features::plan_feature_count());
+        for v in &f {
+            prop_assert!(v.is_finite());
+        }
+        // op_count equals the node count.
+        prop_assert_eq!(f[4] as usize, plan.node_count());
+    }
+
+    /// Structure keys are stable across re-planning and distinct across
+    /// templates with different shapes.
+    #[test]
+    fn structure_keys_are_deterministic(template in prop::sample::select(tpch::ALL_TEMPLATES.to_vec()),
+                                        seed in 0u64..100) {
+        let catalog = Catalog::new(0.1, 1);
+        let planner = Planner::new(&catalog);
+        let mut r1 = StdRng::seed_from_u64(seed);
+        let mut r2 = StdRng::seed_from_u64(seed);
+        let p1 = planner.plan(&tpch::instantiate(template, 0.1, &mut r1));
+        let p2 = planner.plan(&tpch::instantiate(template, 0.1, &mut r2));
+        prop_assert_eq!(qpp::structure_key(&p1), qpp::structure_key(&p2));
+    }
+
+    /// Linear regression recovers random linear functions (up to noise).
+    #[test]
+    fn linreg_recovers_linear_functions(
+        w in prop::collection::vec(-5.0f64..5.0, 3),
+        b in -10.0f64..10.0,
+        seed in 0u64..100,
+    ) {
+        use ml::{Dataset, Learner, LearnerKind, Model};
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|_| (0..3).map(|_| rng.gen_range(-10.0..10.0)).collect())
+            .collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| b + r.iter().zip(&w).map(|(x, wi)| x * wi).sum::<f64>())
+            .collect();
+        let x = Dataset::from_rows(rows.clone());
+        let m = LearnerKind::Linear { ridge: 1e-10 }.fit(&x, &y).unwrap();
+        for (r, target) in rows.iter().zip(&y).take(5) {
+            prop_assert!((m.predict(r) - target).abs() < 1e-5 + target.abs() * 1e-6);
+        }
+    }
+
+    /// K-fold and stratified K-fold partition all rows exactly once.
+    #[test]
+    fn folds_partition(n in 6usize..60, k in 2usize..6, seed in 0u64..50) {
+        let k = k.min(n);
+        let folds = ml::cv::kfold(n, k, seed);
+        let mut seen: Vec<usize> = folds.iter().flat_map(|f| f.test.clone()).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..n).collect::<Vec<_>>());
+        let strata: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        let sfolds = ml::cv::stratified_kfold(&strata, k, seed);
+        let mut sseen: Vec<usize> = sfolds.iter().flat_map(|f| f.test.clone()).collect();
+        sseen.sort_unstable();
+        prop_assert_eq!(sseen, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Reducing noise never makes a trace non-deterministic, and the
+    /// noiseless simulator is exactly repeatable across seeds.
+    #[test]
+    fn noiseless_simulation_is_seed_independent(template in prop::sample::select(vec![1u8, 3, 6, 14]),
+                                                s1 in 0u64..50, s2 in 50u64..100) {
+        let catalog = Catalog::new(0.1, 1);
+        let planner = Planner::new(&catalog);
+        let mut rng = StdRng::seed_from_u64(7);
+        let plan = planner.plan(&tpch::instantiate(template, 0.1, &mut rng));
+        let sim = Simulator::with_config(SimConfig {
+            node_noise_sigma: 0.0,
+            query_noise_sigma: 0.0,
+            additive_noise_secs: 0.0,
+            ..SimConfig::default()
+        });
+        let a = sim.execute(&plan, 0.1, s1);
+        let b = sim.execute(&plan, 0.1, s2);
+        prop_assert!((a.total_secs - b.total_secs).abs() < 1e-12);
+    }
+}
