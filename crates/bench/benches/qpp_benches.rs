@@ -83,6 +83,12 @@ fn bench_prediction(c: &mut Criterion) {
     c.bench_function("predict/operator_level", |b| {
         b.iter(|| std::hint::black_box(op_model.predict(q)))
     });
+    // The guarded path adds feature-finiteness checks and breaker reads
+    // on top of the raw prediction; its overhead must stay negligible.
+    let qpp = qpp::QppPredictor::train(&refs, qpp::QppConfig::default()).unwrap();
+    c.bench_function("predict/checked_plan_level", |b| {
+        b.iter(|| std::hint::black_box(qpp.predict_checked(q, qpp::Method::PlanLevel)))
+    });
 }
 
 fn bench_subplan_index(c: &mut Criterion) {

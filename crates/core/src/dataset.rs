@@ -6,7 +6,8 @@
 //! and total latency). A one-hour execution-time limit is applied when
 //! building datasets, exactly like the paper's setup.
 
-use crate::features::{node_views, FeatureSource, NodeView};
+use crate::features::{node_views, plan_features, FeatureSource, NodeView};
+use engine::faults::{ExecError, FaultPlan};
 use engine::plan::PlanNode;
 use engine::recost::{recost_truth, TruthCosts};
 use engine::sim::{Simulator, Trace};
@@ -15,6 +16,81 @@ use tpch::workload::Workload;
 
 /// The paper's per-query execution-time limit (one hour).
 pub const ONE_HOUR_SECS: f64 = 3600.0;
+
+/// Robustness policy for dataset collection: retries, backoff, and
+/// outlier quarantine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectionConfig {
+    /// Retries per query after a failed attempt (0 = single attempt).
+    pub max_retries: usize,
+    /// Base of the deterministic exponential backoff: retry `k` (1-based)
+    /// waits `backoff_base_secs * 2^(k-1)` simulated seconds. Tracked in
+    /// the report; the simulator itself does not sleep.
+    pub backoff_base_secs: f64,
+    /// Robust z-score (median/MAD in log-latency space, per template)
+    /// beyond which a successful execution is quarantined as an outlier.
+    /// `f64::INFINITY` disables quarantine.
+    pub quarantine_zscore: f64,
+}
+
+impl Default for CollectionConfig {
+    fn default() -> Self {
+        CollectionConfig {
+            max_retries: 2,
+            backoff_base_secs: 0.25,
+            quarantine_zscore: 3.5,
+        }
+    }
+}
+
+impl CollectionConfig {
+    /// The pre-fault-tolerance policy: one attempt per query, keep every
+    /// successful execution. [`QueryDataset::execute`] uses this, so its
+    /// behavior (and its traces) are identical to the original collector.
+    pub fn trusting() -> CollectionConfig {
+        CollectionConfig {
+            max_retries: 0,
+            backoff_base_secs: 0.0,
+            quarantine_zscore: f64::INFINITY,
+        }
+    }
+}
+
+/// What happened while collecting a dataset.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CollectionReport {
+    /// Queries in the workload.
+    pub attempted: usize,
+    /// Queries that made it into the dataset.
+    pub succeeded: usize,
+    /// Retry attempts performed (across all queries).
+    pub retried: usize,
+    /// Queries dropped after exhausting retries on aborts.
+    pub dropped_aborted: usize,
+    /// Queries dropped after exhausting retries on timeout-budget misses.
+    pub dropped_timeout: usize,
+    /// Queries dropped for exceeding the collection time limit (the
+    /// paper's one-hour rule; also recorded in `QueryDataset::timed_out`).
+    pub dropped_over_limit: usize,
+    /// Successful executions quarantined as outliers or for non-finite
+    /// logged features.
+    pub quarantined: usize,
+    /// Total simulated backoff time spent on retries, in seconds.
+    pub backoff_secs: f64,
+}
+
+impl CollectionReport {
+    /// Queries dropped for any reason (excluding quarantine).
+    pub fn dropped(&self) -> usize {
+        self.dropped_aborted + self.dropped_timeout + self.dropped_over_limit
+    }
+
+    /// True when every query is accounted for:
+    /// `succeeded + dropped + quarantined == attempted`.
+    pub fn reconciles(&self) -> bool {
+        self.succeeded + self.dropped() + self.quarantined == self.attempted
+    }
+}
 
 /// One executed query: plan, logged features, observed performance.
 #[derive(Debug, Clone)]
@@ -65,6 +141,10 @@ impl QueryDataset {
     /// Executes a workload and collects the dataset, dropping queries whose
     /// simulated latency exceeds `time_limit_secs` (pass `f64::INFINITY`
     /// to keep everything).
+    ///
+    /// Equivalent to [`QueryDataset::execute_with_faults`] with no faults
+    /// and the trusting collection policy; per-query execution seeds are
+    /// identical, so traces are too.
     pub fn execute(
         catalog: &Catalog,
         workload: &Workload,
@@ -72,19 +152,89 @@ impl QueryDataset {
         seed: u64,
         time_limit_secs: f64,
     ) -> QueryDataset {
+        QueryDataset::execute_with_faults(
+            catalog,
+            workload,
+            simulator,
+            seed,
+            time_limit_secs,
+            &FaultPlan::none(),
+            &CollectionConfig::trusting(),
+        )
+        .0
+    }
+
+    /// Executes a workload under a fault-injection policy and a
+    /// robustness policy, returning the surviving dataset plus a
+    /// [`CollectionReport`] accounting for every query.
+    ///
+    /// Failed attempts (aborts, timeout-budget misses) are retried up to
+    /// `cfg.max_retries` times with deterministic exponential backoff and
+    /// a fresh, deterministic execution seed per attempt. Successful
+    /// executions are quarantined when their logged features or latency
+    /// are non-finite, or when their log-latency is a robust outlier
+    /// within their template group (median/MAD z-score above
+    /// `cfg.quarantine_zscore`, groups of at least five).
+    pub fn execute_with_faults(
+        catalog: &Catalog,
+        workload: &Workload,
+        simulator: &Simulator,
+        seed: u64,
+        time_limit_secs: f64,
+        faults: &FaultPlan,
+        cfg: &CollectionConfig,
+    ) -> (QueryDataset, CollectionReport) {
         let planner = Planner::new(catalog);
         let work_mem = simulator.config().work_mem;
         let mut queries = Vec::with_capacity(workload.len());
         let mut timeouts: Vec<(u8, usize)> = Vec::new();
+        let mut report = CollectionReport {
+            attempted: workload.len(),
+            ..CollectionReport::default()
+        };
         for (i, spec) in workload.queries.iter().enumerate() {
-            let plan = planner.plan(spec);
-            let trace = simulator.execute(&plan, catalog.sf, seed.wrapping_add(i as u64));
+            let mut plan = planner.plan(spec);
+            let mut outcome: Option<(Trace, u64)> = None;
+            let mut last_err: Option<ExecError> = None;
+            for attempt in 0..=cfg.max_retries {
+                // Attempt 0 uses exactly the seed `execute` always used
+                // (seed compatibility); retries decorrelate with a large
+                // odd multiplier.
+                let exec_seed = seed
+                    .wrapping_add(i as u64)
+                    .wrapping_add((attempt as u64).wrapping_mul(0x5851_F42D_4C95_7F2D));
+                if attempt > 0 {
+                    report.retried += 1;
+                    report.backoff_secs += cfg.backoff_base_secs * (1u64 << (attempt - 1).min(32)) as f64;
+                }
+                match simulator.try_execute(&plan, catalog.sf, exec_seed, faults) {
+                    Ok(trace) => {
+                        outcome = Some((trace, exec_seed));
+                        break;
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            let Some((trace, exec_seed)) = outcome else {
+                match last_err {
+                    Some(ExecError::Timeout { .. }) => report.dropped_timeout += 1,
+                    _ => report.dropped_aborted += 1,
+                }
+                continue;
+            };
             if trace.total_secs > time_limit_secs {
+                report.dropped_over_limit += 1;
                 match timeouts.iter_mut().find(|(t, _)| *t == spec.template) {
                     Some((_, n)) => *n += 1,
                     None => timeouts.push((spec.template, 1)),
                 }
                 continue;
+            }
+            // Corrupt the *logged* estimates after execution: the truth
+            // annotations (the simulator's input) are untouched, exactly
+            // like a stats bug that garbles what gets written to the log.
+            if faults.decide(exec_seed).corrupt_estimates {
+                faults.corrupt_estimates(&mut plan, exec_seed);
             }
             let truth_costs = recost_truth(&plan, work_mem);
             queries.push(ExecutedQuery {
@@ -94,10 +244,32 @@ impl QueryDataset {
                 trace,
             });
         }
-        QueryDataset {
-            queries,
-            timed_out: timeouts,
+        // Quarantine 1: non-finite logged features or latency.
+        let mut kept = Vec::with_capacity(queries.len());
+        for q in queries {
+            let latency_ok = q.latency().is_finite() && q.latency() >= 0.0;
+            let views = q.views(FeatureSource::Estimated);
+            let features_ok = plan_features(&q.plan, &views).iter().all(|v| v.is_finite());
+            if latency_ok && features_ok {
+                kept.push(q);
+            } else {
+                report.quarantined += 1;
+            }
         }
+        // Quarantine 2: robust per-template outlier rejection.
+        let queries = if cfg.quarantine_zscore.is_finite() {
+            quarantine_outliers(kept, cfg.quarantine_zscore, &mut report)
+        } else {
+            kept
+        };
+        report.succeeded = queries.len();
+        (
+            QueryDataset {
+                queries,
+                timed_out: timeouts,
+            },
+            report,
+        )
     }
 
     /// Number of retained queries.
@@ -149,6 +321,68 @@ impl QueryDataset {
             }
         }
         (train, test)
+    }
+}
+
+/// Robust per-template outlier rejection: within each template group of at
+/// least five queries, quarantine those whose log-latency sits more than
+/// `z` robust standard deviations (median/MAD) from the group median.
+/// Smaller groups are kept whole — a median over two or three points is
+/// too noisy to disqualify anything.
+fn quarantine_outliers(
+    queries: Vec<ExecutedQuery>,
+    z: f64,
+    report: &mut CollectionReport,
+) -> Vec<ExecutedQuery> {
+    let templates: Vec<u8> = {
+        let mut t: Vec<u8> = queries.iter().map(|q| q.template).collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    };
+    let mut keep = vec![true; queries.len()];
+    for t in templates {
+        let idx: Vec<usize> = (0..queries.len())
+            .filter(|&i| queries[i].template == t)
+            .collect();
+        if idx.len() < 5 {
+            continue;
+        }
+        let logs: Vec<f64> = idx
+            .iter()
+            .map(|&i| (1.0 + queries[i].latency()).ln())
+            .collect();
+        let med = median(&logs);
+        let deviations: Vec<f64> = logs.iter().map(|v| (v - med).abs()).collect();
+        // 1.4826 × MAD estimates sigma under normality; the floor keeps
+        // near-identical groups from flagging harmless jitter.
+        let scale = (1.4826 * median(&deviations)).max(1e-3);
+        for (&i, &v) in idx.iter().zip(&logs) {
+            if (v - med).abs() > z * scale {
+                keep[i] = false;
+            }
+        }
+    }
+    let mut kept = Vec::with_capacity(queries.len());
+    for (q, k) in queries.into_iter().zip(keep) {
+        if k {
+            kept.push(q);
+        } else {
+            report.quarantined += 1;
+        }
+    }
+    kept
+}
+
+/// Median of a non-empty slice (panics on empty input — callers guard).
+fn median(values: &[f64]) -> f64 {
+    let mut v = values.to_vec();
+    v.sort_by(f64::total_cmp);
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
     }
 }
 
@@ -205,5 +439,142 @@ mod tests {
         let est = q.views(FeatureSource::Estimated);
         let act = q.views(FeatureSource::Actual);
         assert_eq!(est.len(), act.len());
+    }
+
+    #[test]
+    fn faultless_collection_matches_execute() {
+        let catalog = Catalog::new(0.1, 1);
+        let workload = Workload::generate(&[1, 3, 6], 4, 0.1, 7);
+        let sim = Simulator::new();
+        let plain = QueryDataset::execute(&catalog, &workload, &sim, 11, f64::INFINITY);
+        let (ds, report) = QueryDataset::execute_with_faults(
+            &catalog,
+            &workload,
+            &sim,
+            11,
+            f64::INFINITY,
+            &FaultPlan::none(),
+            &CollectionConfig::default(),
+        );
+        assert_eq!(ds.len(), plain.len());
+        for (a, b) in ds.queries.iter().zip(&plain.queries) {
+            assert_eq!(a.latency(), b.latency());
+            assert_eq!(a.trace.timings.len(), b.trace.timings.len());
+        }
+        assert!(report.reconciles());
+        assert_eq!(report.succeeded, 12);
+        assert_eq!(report.retried, 0);
+        assert_eq!(report.dropped(), 0);
+    }
+
+    #[test]
+    fn aborts_trigger_retries_and_report_reconciles() {
+        let catalog = Catalog::new(0.1, 1);
+        let workload = Workload::generate(&[1, 3, 6], 6, 0.1, 7);
+        let faults = FaultPlan {
+            abort_prob: 0.6,
+            seed: 5,
+            ..FaultPlan::none()
+        };
+        let cfg = CollectionConfig {
+            quarantine_zscore: f64::INFINITY,
+            ..CollectionConfig::default()
+        };
+        let (ds, report) = QueryDataset::execute_with_faults(
+            &catalog,
+            &workload,
+            &Simulator::new(),
+            11,
+            f64::INFINITY,
+            &faults,
+            &cfg,
+        );
+        assert!(report.reconciles());
+        // With a 60% abort rate across 18 queries some attempt must fail,
+        // and three-strikes-per-query drops only the persistently unlucky.
+        assert!(report.retried > 0);
+        assert!(report.backoff_secs > 0.0);
+        assert_eq!(ds.len() + report.dropped(), workload.len());
+        assert!(ds.len() >= 5);
+        for q in &ds.queries {
+            assert!(q.latency().is_finite());
+        }
+    }
+
+    #[test]
+    fn corrupted_estimates_never_survive_as_nan_features() {
+        let catalog = Catalog::new(0.1, 1);
+        let workload = Workload::generate(&[1, 3, 6], 6, 0.1, 7);
+        let faults = FaultPlan {
+            corrupt_prob: 0.5,
+            seed: 9,
+            ..FaultPlan::none()
+        };
+        let (ds, report) = QueryDataset::execute_with_faults(
+            &catalog,
+            &workload,
+            &Simulator::new(),
+            11,
+            f64::INFINITY,
+            &faults,
+            &CollectionConfig::trusting(),
+        );
+        assert!(report.reconciles());
+        // Whatever survives has finite estimated features (NaN-poisoned
+        // logs are quarantined) and finite truth costs (corruption only
+        // touches the logged estimates).
+        for q in &ds.queries {
+            let views = q.views(FeatureSource::Estimated);
+            assert!(plan_features(&q.plan, &views).iter().all(|v| v.is_finite()));
+            assert!(q
+                .truth_costs
+                .costs
+                .iter()
+                .all(|&(s, t)| s.is_finite() && t.is_finite()));
+        }
+    }
+
+    #[test]
+    fn quarantine_flags_extreme_latency_outliers() {
+        let catalog = Catalog::new(0.1, 1);
+        let workload = Workload::generate(&[6], 8, 0.1, 7);
+        let sim = Simulator::new();
+        let (baseline, _) = QueryDataset::execute_with_faults(
+            &catalog,
+            &workload,
+            &sim,
+            11,
+            f64::INFINITY,
+            &FaultPlan::none(),
+            &CollectionConfig::trusting(),
+        );
+        // A straggler that always fires would rescale the whole group (no
+        // outliers); a rare extreme one should be quarantined.
+        let faults = FaultPlan {
+            straggler_prob: 0.12,
+            straggler_factor: 500.0,
+            seed: 3,
+            ..FaultPlan::none()
+        };
+        let (ds, report) = QueryDataset::execute_with_faults(
+            &catalog,
+            &workload,
+            &sim,
+            11,
+            f64::INFINITY,
+            &faults,
+            &CollectionConfig::default(),
+        );
+        assert!(report.reconciles());
+        if report.quarantined > 0 {
+            // Survivors stay in the baseline latency regime.
+            let max_base = baseline
+                .latencies()
+                .iter()
+                .fold(0.0_f64, |a, &b| a.max(b));
+            for l in ds.latencies() {
+                assert!(l <= max_base * 10.0);
+            }
+        }
     }
 }

@@ -1,0 +1,73 @@
+//! The unified error type of the prediction pipeline.
+//!
+//! Training touches two fallible substrates — the learning crate (model
+//! fitting) and the engine (query execution while collecting data) — and
+//! has failure modes of its own. [`QppError`] wraps all of them so the
+//! facade can expose a single `Result` surface and `?`-propagation works
+//! across crate boundaries.
+
+use engine::faults::ExecError;
+use ml::MlError;
+
+/// Everything that can go wrong across the QPP pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QppError {
+    /// The learning substrate failed (model fitting or validation).
+    Ml(MlError),
+    /// An execution failed while collecting training data.
+    Exec(ExecError),
+    /// No usable training data survived collection.
+    NoTrainingData,
+    /// An internal invariant was violated (the message names it).
+    Internal(&'static str),
+}
+
+impl std::fmt::Display for QppError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QppError::Ml(e) => write!(f, "model training failed: {e}"),
+            QppError::Exec(e) => write!(f, "execution failed: {e}"),
+            QppError::NoTrainingData => write!(f, "no usable training data"),
+            QppError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QppError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QppError::Ml(e) => Some(e),
+            QppError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MlError> for QppError {
+    fn from(e: MlError) -> Self {
+        QppError::Ml(e)
+    }
+}
+
+impl From<ExecError> for QppError {
+    fn from(e: ExecError) -> Self {
+        QppError::Exec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn wraps_and_displays_both_substrates() {
+        let ml: QppError = MlError::EmptyDataset.into();
+        assert!(ml.to_string().contains("empty"));
+        assert!(ml.source().is_some());
+        let exec: QppError = ExecError::Aborted { progress: 0.2 }.into();
+        assert!(exec.to_string().contains("aborted"));
+        assert!(exec.source().is_some());
+        assert!(QppError::NoTrainingData.source().is_none());
+    }
+}

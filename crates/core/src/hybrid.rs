@@ -15,6 +15,7 @@
 //! exactly the bookkeeping Algorithm 1 describes.
 
 use crate::dataset::ExecutedQuery;
+use crate::error::QppError;
 use crate::features::{plan_features, NodeView};
 use crate::op_model::OpLevelModel;
 use crate::plan_model::FeatureModel;
@@ -22,7 +23,7 @@ use crate::subplan::{structure_key, StructureKey, SubplanIndex};
 use engine::plan::PlanNode;
 use ml::cv::kfold;
 use ml::metrics::{mean_relative_error, relative_error};
-use ml::{Dataset, ForwardSelection, LearnerKind, MlError};
+use ml::{Dataset, ForwardSelection, LearnerKind};
 use std::collections::{HashMap, HashSet};
 
 /// The three plan-ordering strategies of Section 3.4.
@@ -242,7 +243,7 @@ pub fn train_hybrid(
     queries: &[&ExecutedQuery],
     op_model: OpLevelModel,
     config: &HybridConfig,
-) -> Result<(HybridModel, Vec<IterationRecord>), MlError> {
+) -> Result<(HybridModel, Vec<IterationRecord>), QppError> {
     let source = op_model.source();
     let mut model = HybridModel::operator_only(op_model);
     let views: Vec<Vec<NodeView>> = queries.iter().map(|q| q.views(source)).collect();
@@ -291,8 +292,10 @@ pub fn train_subplan_model(
     views: &[Vec<NodeView>],
     index: &SubplanIndex,
     config: &HybridConfig,
-) -> Result<SubplanModel, MlError> {
-    let info = index.get(key).expect("candidate must be indexed");
+) -> Result<SubplanModel, QppError> {
+    let info = index
+        .get(key)
+        .ok_or(QppError::Internal("sub-plan structure not in the training index"))?;
     let mut x = Dataset::new(crate::features::plan_feature_count());
     let mut y_start = Vec::new();
     let mut y_run = Vec::new();

@@ -19,10 +19,12 @@
 //! - [`progressive`] — progressive prediction with run-time features (the
 //!   extension sketched in the paper's conclusions).
 //! - [`predictor`] — the user-facing facade.
+//! - [`error`] — the unified [`QppError`] across execution and learning.
 
 #![warn(missing_docs)]
 
 pub mod dataset;
+pub mod error;
 pub mod features;
 pub mod hybrid;
 pub mod materialize;
@@ -33,13 +35,16 @@ pub mod predictor;
 pub mod progressive;
 pub mod subplan;
 
-pub use dataset::{ExecutedQuery, QueryDataset, ONE_HOUR_SECS};
+pub use dataset::{
+    CollectionConfig, CollectionReport, ExecutedQuery, QueryDataset, ONE_HOUR_SECS,
+};
+pub use error::QppError;
 pub use features::{plan_features, FeatureSource, NodeView};
 pub use hybrid::{train_hybrid, HybridConfig, HybridModel, PlanOrdering};
 pub use materialize::MaterializedModels;
 pub use online::{OnlineConfig, OnlinePredictor};
 pub use op_model::{OpLevelModel, OpModelConfig};
 pub use plan_model::{PlanLevelModel, PlanModelConfig, TargetMetric};
-pub use predictor::{Method, QppConfig, QppPredictor};
+pub use predictor::{Method, Prediction, PredictionTier, QppConfig, QppPredictor};
 pub use progressive::{observations_at, predict_progressive, predict_progressive_at};
 pub use subplan::{structure_key, StructureKey, SubplanIndex};

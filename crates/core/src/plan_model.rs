@@ -220,6 +220,11 @@ impl PlanLevelModel {
         self.metric
     }
 
+    /// The feature source this model was trained on.
+    pub fn source(&self) -> FeatureSource {
+        self.source
+    }
+
     /// Predicts a query's target metric from its static features.
     pub fn predict(&self, query: &ExecutedQuery) -> f64 {
         let views = query.views(self.source);

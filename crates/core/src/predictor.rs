@@ -4,14 +4,22 @@
 //! Ties the four prediction methods of the paper behind one API and
 //! implements model *materialization* (Section 1's pre-building): trained
 //! model sets serialize to JSON and reload without retraining.
+//!
+//! Besides the raw [`QppPredictor::predict`], the facade offers the
+//! guarded [`QppPredictor::predict_checked`], which never returns a
+//! non-finite or negative latency: it walks the degradation chain
+//! Hybrid → OperatorLevel → PlanLevel → optimizer-cost scaling →
+//! training-prior, skipping tiers whose inputs are corrupted or whose
+//! circuit breaker has tripped after repeated invalid outputs.
 
 use crate::dataset::ExecutedQuery;
-use crate::features::FeatureSource;
+use crate::error::QppError;
+use crate::features::{plan_features, FeatureSource};
 use crate::hybrid::{train_hybrid, HybridConfig, HybridModel, IterationRecord, PlanOrdering};
 use crate::online::{OnlineConfig, OnlinePredictor};
 use crate::op_model::{OpLevelModel, OpModelConfig};
 use crate::plan_model::{PlanLevelModel, PlanModelConfig};
-use ml::MlError;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Which prediction method to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,8 +32,37 @@ pub enum Method {
     Hybrid(PlanOrdering),
 }
 
+/// The tier that actually produced a checked prediction, in degradation
+/// order: the three learned models, then two analytical fallbacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredictionTier {
+    /// The hybrid model (Section 3.4).
+    Hybrid,
+    /// Composed operator-level models (Section 3.2).
+    OperatorLevel,
+    /// The single plan-level model (Section 3.1).
+    PlanLevel,
+    /// Optimizer cost estimate × the training-time seconds-per-cost-unit
+    /// ratio (the paper's Section 5.2 baseline, used here as a fallback).
+    CostScaling,
+    /// Median training latency — the last resort when even the optimizer
+    /// cost estimate is unusable.
+    TrainingPrior,
+}
+
+/// A guarded prediction: always finite and non-negative.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Predicted latency in seconds (finite, `>= 0`).
+    pub value: f64,
+    /// The tier that produced the value.
+    pub method_used: PredictionTier,
+    /// True when the value did not come from the requested method.
+    pub degraded: bool,
+}
+
 /// Training configuration for the full predictor.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct QppConfig {
     /// Plan-level settings.
     pub plan: PlanModelConfig,
@@ -33,6 +70,21 @@ pub struct QppConfig {
     pub op: OpModelConfig,
     /// Hybrid settings.
     pub hybrid: HybridConfig,
+    /// Consecutive invalid outputs after which a model tier's circuit
+    /// breaker opens and [`QppPredictor::predict_checked`] stops
+    /// consulting it (until a valid output or a reset closes it).
+    pub breaker_threshold: u32,
+}
+
+impl Default for QppConfig {
+    fn default() -> Self {
+        QppConfig {
+            plan: PlanModelConfig::default(),
+            op: OpModelConfig::default(),
+            hybrid: HybridConfig::default(),
+            breaker_threshold: 3,
+        }
+    }
 }
 
 /// A trained predictor holding all three offline model sets.
@@ -46,30 +98,188 @@ pub struct QppPredictor {
     /// Hybrid training trajectory.
     pub hybrid_trajectory: Vec<IterationRecord>,
     config: QppConfig,
+    /// Median observed seconds per optimizer cost unit at training time
+    /// (NaN when no training query had a usable cost estimate).
+    secs_per_cost: f64,
+    /// Median training latency (the last-resort prior).
+    prior_latency: f64,
+    /// Consecutive-invalid-output counters per model tier
+    /// (Hybrid, OperatorLevel, PlanLevel).
+    breakers: [AtomicU32; 3],
+}
+
+/// The three learned tiers, in degradation order.
+const MODEL_TIERS: [PredictionTier; 3] = [
+    PredictionTier::Hybrid,
+    PredictionTier::OperatorLevel,
+    PredictionTier::PlanLevel,
+];
+
+fn is_sane(v: f64) -> bool {
+    v.is_finite() && v >= 0.0
+}
+
+fn tier_index(tier: PredictionTier) -> Option<usize> {
+    MODEL_TIERS.iter().position(|t| *t == tier)
+}
+
+/// Median of the values, consuming the buffer; NaN when empty.
+fn median_of(mut v: Vec<f64>) -> f64 {
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    v.sort_by(f64::total_cmp);
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
 }
 
 impl QppPredictor {
     /// Trains all offline models on the given training queries.
-    pub fn train(queries: &[&ExecutedQuery], config: QppConfig) -> Result<Self, MlError> {
+    pub fn train(queries: &[&ExecutedQuery], config: QppConfig) -> Result<Self, QppError> {
+        if queries.is_empty() {
+            return Err(QppError::NoTrainingData);
+        }
         let plan_level = PlanLevelModel::train(queries, &config.plan)?;
         let op_level = OpLevelModel::train(queries, &config.op)?;
         let (hybrid, hybrid_trajectory) =
             train_hybrid(queries, op_level.clone(), &config.hybrid)?;
+        let ratios: Vec<f64> = queries
+            .iter()
+            .filter_map(|q| {
+                let c = q.plan.est.total_cost;
+                let l = q.latency();
+                if c.is_finite() && c > 0.0 && l.is_finite() && l >= 0.0 {
+                    Some(l / c)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let secs_per_cost = median_of(ratios);
+        let lats: Vec<f64> = queries
+            .iter()
+            .map(|q| q.latency())
+            .filter(|l| l.is_finite() && *l >= 0.0)
+            .collect();
+        let prior_latency = if lats.is_empty() { 0.0 } else { median_of(lats) };
         Ok(QppPredictor {
             plan_level,
             op_level,
             hybrid,
             hybrid_trajectory,
             config,
+            secs_per_cost,
+            prior_latency,
+            breakers: [AtomicU32::new(0), AtomicU32::new(0), AtomicU32::new(0)],
         })
     }
 
-    /// Predicts a query's latency with the chosen method.
+    /// Predicts a query's latency with the chosen method (unguarded: may
+    /// propagate garbage from corrupted inputs; prefer
+    /// [`QppPredictor::predict_checked`] when the input is untrusted).
     pub fn predict(&self, query: &ExecutedQuery, method: Method) -> f64 {
         match method {
             Method::PlanLevel => self.plan_level.predict(query),
             Method::OperatorLevel => self.op_level.predict(query),
             Method::Hybrid(_) => self.hybrid.predict(query),
+        }
+    }
+
+    /// Predicts a query's latency, guaranteed finite and non-negative.
+    ///
+    /// Walks the degradation chain starting at the requested method:
+    /// Hybrid → OperatorLevel → PlanLevel → cost scaling → training prior.
+    /// A learned tier is consulted only if its circuit breaker is closed
+    /// and the query's logged features (for that tier's feature source)
+    /// are all finite; an invalid output advances the tier's breaker, a
+    /// valid one closes it. The two analytical fallbacks never fail: cost
+    /// scaling needs only a finite optimizer estimate, and the training
+    /// prior is a constant.
+    pub fn predict_checked(&self, query: &ExecutedQuery, method: Method) -> Prediction {
+        let start = match method {
+            Method::Hybrid(_) => 0,
+            Method::OperatorLevel => 1,
+            Method::PlanLevel => 2,
+        };
+        let requested = MODEL_TIERS[start];
+        // Features-finite checks, cached per source (Estimated / Actual).
+        let mut cache = [None::<bool>; 2];
+        let mut features_ok = |src: FeatureSource| -> bool {
+            let k = match src {
+                FeatureSource::Estimated => 0,
+                FeatureSource::Actual => 1,
+            };
+            *cache[k].get_or_insert_with(|| {
+                let views = query.views(src);
+                plan_features(&query.plan, &views).iter().all(|v| v.is_finite())
+            })
+        };
+        for i in start..MODEL_TIERS.len() {
+            if self.breakers[i].load(Ordering::Relaxed) >= self.config.breaker_threshold {
+                continue;
+            }
+            let source = match MODEL_TIERS[i] {
+                PredictionTier::PlanLevel => self.plan_level.source(),
+                _ => self.op_level.source(),
+            };
+            if !features_ok(source) {
+                // Corrupted inputs are not the model's fault: skip the
+                // tier without advancing its breaker.
+                continue;
+            }
+            let value = match MODEL_TIERS[i] {
+                PredictionTier::Hybrid => self.hybrid.predict(query),
+                PredictionTier::OperatorLevel => self.op_level.predict(query),
+                _ => self.plan_level.predict(query),
+            };
+            if is_sane(value) {
+                self.breakers[i].store(0, Ordering::Relaxed);
+                return Prediction {
+                    value,
+                    method_used: MODEL_TIERS[i],
+                    degraded: MODEL_TIERS[i] != requested,
+                };
+            }
+            self.breakers[i].fetch_add(1, Ordering::Relaxed);
+        }
+        let cost = query.plan.est.total_cost;
+        if cost.is_finite() && cost >= 0.0 {
+            let value = cost * self.secs_per_cost;
+            if is_sane(value) {
+                return Prediction {
+                    value,
+                    method_used: PredictionTier::CostScaling,
+                    degraded: true,
+                };
+            }
+        }
+        Prediction {
+            value: self.prior_latency,
+            method_used: PredictionTier::TrainingPrior,
+            degraded: true,
+        }
+    }
+
+    /// True when the given learned tier's circuit breaker is open (always
+    /// false for the analytical fallback tiers).
+    pub fn breaker_tripped(&self, tier: PredictionTier) -> bool {
+        match tier_index(tier) {
+            Some(i) => {
+                self.breakers[i].load(Ordering::Relaxed) >= self.config.breaker_threshold
+            }
+            None => false,
+        }
+    }
+
+    /// Closes all circuit breakers (e.g. after retraining or when the
+    /// input corruption source is known to be fixed).
+    pub fn reset_breakers(&self) {
+        for b in &self.breakers {
+            b.store(0, Ordering::Relaxed);
         }
     }
 
@@ -117,17 +327,19 @@ mod tests {
         QueryDataset::execute(&catalog, &workload, &quiet_sim(), 11, f64::INFINITY)
     }
 
+    const ALL_METHODS: [Method; 3] = [
+        Method::PlanLevel,
+        Method::OperatorLevel,
+        Method::Hybrid(PlanOrdering::ErrorBased),
+    ];
+
     #[test]
     fn facade_trains_and_predicts_with_all_methods() {
         let ds = dataset();
         let refs: Vec<&ExecutedQuery> = ds.queries.iter().collect();
         let qpp = QppPredictor::train(&refs, QppConfig::default()).unwrap();
         let actual: Vec<f64> = refs.iter().map(|q| q.latency()).collect();
-        for method in [
-            Method::PlanLevel,
-            Method::OperatorLevel,
-            Method::Hybrid(PlanOrdering::ErrorBased),
-        ] {
+        for method in ALL_METHODS {
             let preds: Vec<f64> = refs.iter().map(|q| qpp.predict(q, method)).collect();
             let err = mean_relative_error(&actual, &preds);
             assert!(err.is_finite(), "{method:?}: {err}");
@@ -143,5 +355,81 @@ mod tests {
         let mut online = qpp.online(refs.clone());
         let p = online.predict_query(refs[0]);
         assert!(p.is_finite() && p >= 0.0);
+    }
+
+    #[test]
+    fn training_on_empty_data_is_an_error_not_a_panic() {
+        assert_eq!(
+            QppPredictor::train(&[], QppConfig::default()).err(),
+            Some(QppError::NoTrainingData)
+        );
+    }
+
+    #[test]
+    fn checked_predictions_match_unchecked_on_clean_data() {
+        let ds = dataset();
+        let refs: Vec<&ExecutedQuery> = ds.queries.iter().collect();
+        let qpp = QppPredictor::train(&refs, QppConfig::default()).unwrap();
+        for q in &refs {
+            for method in ALL_METHODS {
+                let p = qpp.predict_checked(q, method);
+                assert_eq!(p.value, qpp.predict(q, method));
+                assert!(!p.degraded);
+                let expected = match method {
+                    Method::PlanLevel => PredictionTier::PlanLevel,
+                    Method::OperatorLevel => PredictionTier::OperatorLevel,
+                    Method::Hybrid(_) => PredictionTier::Hybrid,
+                };
+                assert_eq!(p.method_used, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn tripped_breaker_degrades_to_the_next_tier_and_reset_restores() {
+        let ds = dataset();
+        let refs: Vec<&ExecutedQuery> = ds.queries.iter().collect();
+        let qpp = QppPredictor::train(&refs, QppConfig::default()).unwrap();
+        let q = refs[0];
+        qpp.breakers[0].store(qpp.config.breaker_threshold, Ordering::Relaxed);
+        assert!(qpp.breaker_tripped(PredictionTier::Hybrid));
+        let p = qpp.predict_checked(q, Method::Hybrid(PlanOrdering::ErrorBased));
+        assert!(p.degraded);
+        assert_eq!(p.method_used, PredictionTier::OperatorLevel);
+        assert!(is_sane(p.value));
+        qpp.reset_breakers();
+        assert!(!qpp.breaker_tripped(PredictionTier::Hybrid));
+        let p = qpp.predict_checked(q, Method::Hybrid(PlanOrdering::ErrorBased));
+        assert!(!p.degraded);
+        assert_eq!(p.method_used, PredictionTier::Hybrid);
+    }
+
+    #[test]
+    fn corrupted_estimates_fall_through_to_analytical_tiers() {
+        let ds = dataset();
+        let refs: Vec<&ExecutedQuery> = ds.queries.iter().collect();
+        let qpp = QppPredictor::train(&refs, QppConfig::default()).unwrap();
+
+        // NaN row estimate (but a usable cost): models skip, cost scales.
+        let mut q = ds.queries[0].clone();
+        q.plan.est.rows = f64::NAN;
+        for method in ALL_METHODS {
+            let p = qpp.predict_checked(&q, method);
+            assert!(is_sane(p.value), "{method:?}: {p:?}");
+            assert!(p.degraded);
+            assert_eq!(p.method_used, PredictionTier::CostScaling);
+        }
+
+        // NaN cost too: only the training prior is left.
+        q.plan.est.total_cost = f64::NAN;
+        for method in ALL_METHODS {
+            let p = qpp.predict_checked(&q, method);
+            assert!(is_sane(p.value), "{method:?}: {p:?}");
+            assert_eq!(p.method_used, PredictionTier::TrainingPrior);
+        }
+        // Input corruption must not have tripped any breaker.
+        for tier in MODEL_TIERS {
+            assert!(!qpp.breaker_tripped(tier));
+        }
     }
 }

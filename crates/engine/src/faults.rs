@@ -1,0 +1,270 @@
+//! Deterministic fault injection for the execution layer.
+//!
+//! The paper's motivating use cases (admission control, workload routing —
+//! Section 1) put the predictor on a live system's critical path, where the
+//! executions that feed training-data collection abort mid-flight, straggle
+//! behind concurrent load, exceed their time budget, or log corrupted
+//! optimizer estimates. This module models those failure modes as a seeded
+//! [`FaultPlan`] so every robustness test and benchmark is exactly
+//! reproducible: the same (plan, seed, fault plan) triple always yields the
+//! same faults.
+
+use crate::plan::PlanNode;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Why an execution failed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExecError {
+    /// The query was aborted mid-flight (deadlock victim, administrator
+    /// cancellation, backend crash).
+    Aborted {
+        /// Fraction of the query's work completed before the abort.
+        progress: f64,
+    },
+    /// The execution exceeded its time budget.
+    Timeout {
+        /// The budget that was exceeded, in seconds.
+        budget_secs: f64,
+        /// The latency the execution would have needed, in seconds.
+        needed_secs: f64,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Aborted { progress } => {
+                write!(f, "execution aborted at {:.0}% progress", progress * 100.0)
+            }
+            ExecError::Timeout {
+                budget_secs,
+                needed_secs,
+            } => write!(
+                f,
+                "execution exceeded its {budget_secs} s budget (needed {needed_secs:.1} s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The fault decisions for one execution, fully determined by the
+/// [`FaultPlan`] and the execution seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultOutcome {
+    /// The execution aborts.
+    pub abort: bool,
+    /// Progress fraction at the abort point (meaningful when `abort`).
+    pub abort_progress: f64,
+    /// Latency multiplier (1.0 when the execution does not straggle).
+    pub straggler_factor: f64,
+    /// The logged optimizer estimates are corrupted.
+    pub corrupt_estimates: bool,
+}
+
+/// A seeded, deterministic fault-injection policy.
+///
+/// Probabilities are per execution attempt. `seed` decorrelates fault
+/// decisions from the simulator's measurement noise (which consumes the
+/// execution seed on its own stream).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Probability that an execution aborts.
+    pub abort_prob: f64,
+    /// Probability that an execution straggles.
+    pub straggler_prob: f64,
+    /// Latency multiplier applied to stragglers (values below 1 are
+    /// treated as 1).
+    pub straggler_factor: f64,
+    /// Probability that the logged optimizer estimates of an executed
+    /// query are corrupted (NaN, zeroed, or wildly inflated values).
+    pub corrupt_prob: f64,
+    /// Per-execution time budget in seconds (`f64::INFINITY` disables it).
+    pub timeout_secs: f64,
+    /// Fault-stream seed.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing: every execution succeeds untouched.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            abort_prob: 0.0,
+            straggler_prob: 0.0,
+            straggler_factor: 8.0,
+            corrupt_prob: 0.0,
+            timeout_secs: f64::INFINITY,
+            seed: 0,
+        }
+    }
+
+    /// The fault decisions for the execution identified by `exec_seed`.
+    /// Deterministic: the same (plan, exec_seed) pair always returns the
+    /// same outcome.
+    pub fn decide(&self, exec_seed: u64) -> FaultOutcome {
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ exec_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xFA_017,
+        );
+        let abort = rng.gen::<f64>() < self.abort_prob;
+        let abort_progress = rng.gen::<f64>();
+        let straggler = rng.gen::<f64>() < self.straggler_prob;
+        let corrupt = rng.gen::<f64>() < self.corrupt_prob;
+        FaultOutcome {
+            abort,
+            abort_progress,
+            straggler_factor: if straggler {
+                self.straggler_factor.max(1.0)
+            } else {
+                1.0
+            },
+            corrupt_estimates: corrupt,
+        }
+    }
+
+    /// Corrupts a plan's optimizer estimates in place, the way a buggy
+    /// stats collector or a torn log record would: per node, estimates may
+    /// turn into NaN, collapse to zero, or inflate by six orders of
+    /// magnitude. Deterministic in (plan seed, exec_seed).
+    pub fn corrupt_estimates(&self, plan: &mut PlanNode, exec_seed: u64) {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ exec_seed.rotate_left(31) ^ 0xC0_44F7);
+        corrupt_node(plan, &mut rng);
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+fn corrupt_node(node: &mut PlanNode, rng: &mut StdRng) {
+    if rng.gen::<f64>() < 0.35 {
+        match rng.gen_range(0u8..3) {
+            0 => {
+                node.est.rows = f64::NAN;
+                node.est.total_cost = f64::NAN;
+            }
+            1 => {
+                node.est.rows = 0.0;
+                node.est.selectivity = 0.0;
+                node.est.pages = 0.0;
+            }
+            _ => {
+                node.est.rows *= 1e6;
+                node.est.total_cost *= 1e6;
+                node.est.startup_cost *= 1e6;
+            }
+        }
+    }
+    for c in &mut node.children {
+        corrupt_node(c, rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::planner::Planner;
+    use tpch::templates;
+
+    fn sample_plan(template: u8) -> PlanNode {
+        let catalog = Catalog::new(0.1, 1);
+        let planner = Planner::new(&catalog);
+        let mut rng = StdRng::seed_from_u64(3);
+        planner.plan(&templates::instantiate(template, 0.1, &mut rng))
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let plan = FaultPlan {
+            abort_prob: 0.3,
+            straggler_prob: 0.3,
+            corrupt_prob: 0.3,
+            ..FaultPlan::none()
+        };
+        for seed in 0..50 {
+            assert_eq!(plan.decide(seed), plan.decide(seed));
+        }
+    }
+
+    #[test]
+    fn none_injects_nothing() {
+        let plan = FaultPlan::none();
+        for seed in 0..200 {
+            let o = plan.decide(seed);
+            assert!(!o.abort);
+            assert!(!o.corrupt_estimates);
+            assert_eq!(o.straggler_factor, 1.0);
+        }
+    }
+
+    #[test]
+    fn empirical_rates_match_probabilities() {
+        let plan = FaultPlan {
+            abort_prob: 0.2,
+            straggler_prob: 0.1,
+            corrupt_prob: 0.05,
+            ..FaultPlan::none()
+        };
+        let n = 4000;
+        let mut aborts = 0;
+        let mut stragglers = 0;
+        let mut corrupt = 0;
+        for seed in 0..n {
+            let o = plan.decide(seed);
+            aborts += o.abort as usize;
+            stragglers += (o.straggler_factor > 1.0) as usize;
+            corrupt += o.corrupt_estimates as usize;
+        }
+        let frac = |k: usize| k as f64 / n as f64;
+        assert!((frac(aborts) - 0.2).abs() < 0.03, "aborts {}", frac(aborts));
+        assert!(
+            (frac(stragglers) - 0.1).abs() < 0.03,
+            "stragglers {}",
+            frac(stragglers)
+        );
+        assert!(
+            (frac(corrupt) - 0.05).abs() < 0.02,
+            "corrupt {}",
+            frac(corrupt)
+        );
+    }
+
+    #[test]
+    fn corruption_changes_estimates_and_is_deterministic() {
+        let faults = FaultPlan {
+            corrupt_prob: 1.0,
+            ..FaultPlan::none()
+        };
+        let original = sample_plan(3);
+        // NaN-corrupted estimates defeat PartialEq (NaN != NaN), so compare
+        // debug renderings instead.
+        let render = |p: &PlanNode| format!("{p:?}");
+        let mut changed = false;
+        for seed in 0..10 {
+            let mut a = original.clone();
+            let mut b = original.clone();
+            faults.corrupt_estimates(&mut a, seed);
+            faults.corrupt_estimates(&mut b, seed);
+            assert_eq!(render(&a), render(&b), "corruption must be deterministic");
+            if render(&a) != render(&original) {
+                changed = true;
+            }
+        }
+        assert!(changed, "corruption never touched any estimate");
+    }
+
+    #[test]
+    fn errors_display() {
+        let a = ExecError::Aborted { progress: 0.5 };
+        assert!(a.to_string().contains("aborted"));
+        let t = ExecError::Timeout {
+            budget_secs: 10.0,
+            needed_secs: 42.0,
+        };
+        assert!(t.to_string().contains("budget"));
+    }
+}

@@ -15,6 +15,8 @@
 //! - [`planner`] — cost-based physical planning of the TPC-H templates.
 //! - [`sim`] — the execution simulator producing per-operator start-times
 //!   and run-times (the paper's prediction targets).
+//! - [`faults`] — seeded, deterministic fault injection (aborts,
+//!   stragglers, timeouts, corrupted estimates) for robustness testing.
 //! - [`exec`] — a reference executor over generated rows for validating
 //!   the truth model at tiny scale factors.
 //! - [`mod@explain`] — EXPLAIN / EXPLAIN ANALYZE rendering.
@@ -26,6 +28,7 @@ pub mod cost;
 pub mod estimator;
 pub mod exec;
 pub mod explain;
+pub mod faults;
 pub mod histogram;
 pub mod plan;
 pub mod planner;
@@ -35,6 +38,7 @@ pub mod truth;
 
 pub use catalog::Catalog;
 pub use estimator::Estimator;
+pub use faults::{ExecError, FaultOutcome, FaultPlan};
 pub use explain::{explain, explain_analyze};
 pub use plan::{NodeEst, NodeTruth, OpDetail, OpType, PlanNode, ALL_OP_TYPES};
 pub use planner::{Planner, PlannerConfig};

@@ -27,6 +27,7 @@
 //! - log-normal measurement noise per node and per query.
 
 use crate::estimator::cardenas;
+use crate::faults::{ExecError, FaultPlan};
 use crate::plan::{OpDetail, OpType, PlanNode};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -272,6 +273,44 @@ impl Simulator {
             timings,
             io_pages,
         }
+    }
+
+    /// Executes a plan under a fault-injection policy. The clean trace is
+    /// computed exactly as [`Simulator::execute`] would (same seed, same
+    /// noise streams); faults are applied on top: stragglers stretch every
+    /// timing by the plan's factor, aborted executions return
+    /// [`ExecError::Aborted`], and executions whose (possibly stretched)
+    /// latency exceeds `faults.timeout_secs` return [`ExecError::Timeout`].
+    /// With `FaultPlan::none()` this is byte-identical to `execute`.
+    pub fn try_execute(
+        &self,
+        plan: &PlanNode,
+        sf: f64,
+        seed: u64,
+        faults: &FaultPlan,
+    ) -> Result<Trace, ExecError> {
+        let outcome = faults.decide(seed);
+        let mut trace = self.execute(plan, sf, seed);
+        if outcome.straggler_factor > 1.0 {
+            let m = outcome.straggler_factor;
+            trace.total_secs *= m;
+            for t in &mut trace.timings {
+                t.start *= m;
+                t.run *= m;
+            }
+        }
+        if outcome.abort {
+            return Err(ExecError::Aborted {
+                progress: outcome.abort_progress,
+            });
+        }
+        if trace.total_secs > faults.timeout_secs {
+            return Err(ExecError::Timeout {
+                budget_secs: faults.timeout_secs,
+                needed_secs: trace.total_secs,
+            });
+        }
+        Ok(trace)
     }
 
     /// Per-page spill rate for an operator handling `bytes`: seek-bound
@@ -681,6 +720,61 @@ mod tests {
         for nt in &trace.timings[1..] {
             assert!(nt.run <= root.run * 1.0001);
         }
+    }
+
+    #[test]
+    fn try_execute_without_faults_matches_execute() {
+        let catalog = Catalog::new(0.1, 1);
+        let planner = Planner::new(&catalog);
+        let mut rng = StdRng::seed_from_u64(9);
+        let plan = planner.plan(&templates::instantiate(6, 0.1, &mut rng));
+        let sim = Simulator::new();
+        let clean = sim.execute(&plan, 0.1, 42);
+        let faulty = sim
+            .try_execute(&plan, 0.1, 42, &crate::faults::FaultPlan::none())
+            .expect("no faults injected");
+        assert_eq!(clean.total_secs, faulty.total_secs);
+        assert_eq!(clean.timings, faulty.timings);
+    }
+
+    #[test]
+    fn try_execute_injects_aborts_stragglers_and_timeouts() {
+        let catalog = Catalog::new(0.1, 1);
+        let planner = Planner::new(&catalog);
+        let mut rng = StdRng::seed_from_u64(9);
+        let plan = planner.plan(&templates::instantiate(6, 0.1, &mut rng));
+        let sim = Simulator::new();
+
+        let abort_all = crate::faults::FaultPlan {
+            abort_prob: 1.0,
+            ..crate::faults::FaultPlan::none()
+        };
+        match sim.try_execute(&plan, 0.1, 1, &abort_all) {
+            Err(crate::faults::ExecError::Aborted { progress }) => {
+                assert!((0.0..=1.0).contains(&progress));
+            }
+            other => panic!("expected abort, got {other:?}"),
+        }
+
+        let straggle_all = crate::faults::FaultPlan {
+            straggler_prob: 1.0,
+            straggler_factor: 8.0,
+            ..crate::faults::FaultPlan::none()
+        };
+        let clean = sim.execute(&plan, 0.1, 1);
+        let slow = sim
+            .try_execute(&plan, 0.1, 1, &straggle_all)
+            .expect("stragglers still complete");
+        assert!((slow.total_secs - clean.total_secs * 8.0).abs() < 1e-9);
+
+        let tight_budget = crate::faults::FaultPlan {
+            timeout_secs: clean.total_secs * 0.5,
+            ..crate::faults::FaultPlan::none()
+        };
+        assert!(matches!(
+            sim.try_execute(&plan, 0.1, 1, &tight_budget),
+            Err(crate::faults::ExecError::Timeout { .. })
+        ));
     }
 
     #[test]

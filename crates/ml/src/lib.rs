@@ -66,6 +66,14 @@ pub enum MlError {
     NotPositiveDefinite,
     /// An invalid hyper-parameter was supplied (message explains which).
     InvalidParameter(&'static str),
+    /// Training data (features or targets) contained NaN or infinities.
+    NonFiniteData,
+    /// An iterative solver exhausted its iteration budget without
+    /// satisfying its stopping condition.
+    DidNotConverge {
+        /// The iteration cap that was exhausted.
+        iterations: usize,
+    },
 }
 
 impl std::fmt::Display for MlError {
@@ -79,6 +87,10 @@ impl std::fmt::Display for MlError {
                 write!(f, "matrix not positive definite (singular system?)")
             }
             MlError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            MlError::NonFiniteData => write!(f, "training data contains NaN or infinite values"),
+            MlError::DidNotConverge { iterations } => {
+                write!(f, "solver did not converge within {iterations} iterations")
+            }
         }
     }
 }
@@ -158,11 +170,28 @@ impl Learner for LearnerKind {
             LearnerKind::Linear { ridge } => LinearRegression::new(*ridge)
                 .fit(x, y)
                 .map(TrainedModel::Linear),
-            LearnerKind::Svr(params) => Svr::new(params.clone()).fit(x, y).map(TrainedModel::Svr),
+            LearnerKind::Svr(params) => ridge_fallback(Svr::new(params.clone()).fit(x, y), x, y),
             LearnerKind::NuSvr(params) => {
-                NuSvr::new(params.clone()).fit(x, y).map(TrainedModel::Svr)
+                ridge_fallback(NuSvr::new(params.clone()).fit(x, y), x, y)
             }
         }
+    }
+}
+
+/// An SVR solver that exhausts its iteration budget falls back to ridge
+/// regression: a degraded-but-sane model beats failing the whole training
+/// run on the serving path. Other errors propagate untouched.
+fn ridge_fallback(
+    fit: Result<SvrModel, MlError>,
+    x: &Dataset,
+    y: &[f64],
+) -> Result<TrainedModel, MlError> {
+    match fit {
+        Ok(m) => Ok(TrainedModel::Svr(m)),
+        Err(MlError::DidNotConverge { .. }) => LinearRegression::new(1e-4)
+            .fit(x, y)
+            .map(TrainedModel::Linear),
+        Err(e) => Err(e),
     }
 }
 
@@ -189,6 +218,31 @@ mod tests {
         assert!(MlError::NotPositiveDefinite
             .to_string()
             .contains("positive definite"));
+    }
+
+    #[test]
+    fn svr_learners_fall_back_to_ridge_on_non_convergence() {
+        // An iteration budget of 1 cannot satisfy the KKT conditions on
+        // this data; the learner must degrade to a linear model rather
+        // than fail or return garbage.
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, (i * i) as f64]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] + 0.5 * r[1] + 3.0).collect();
+        let x = Dataset::from_rows(rows);
+        for learner in [
+            LearnerKind::Svr(SvrParams {
+                max_iter: 1,
+                ..SvrParams::default()
+            }),
+            LearnerKind::NuSvr(NuSvrParams {
+                max_iter: 1,
+                ..NuSvrParams::default()
+            }),
+        ] {
+            let m = learner.fit(&x, &y).unwrap();
+            assert!(matches!(m, TrainedModel::Linear(_)));
+            let p = m.predict(x.row(10));
+            assert!(p.is_finite(), "{p}");
+        }
     }
 
     #[test]

@@ -25,14 +25,49 @@ impl LinearRegression {
     }
 
     /// Fits the model on `x` (rows × features) and targets `y`.
+    ///
+    /// Degenerate columns — constant (zero variance) or containing
+    /// non-finite values — would make the Gram matrix singular or poison
+    /// the Cholesky solve with NaN; they are dropped up front and get a
+    /// zero weight in the returned model instead of failing the fit.
     pub fn fit(&self, x: &Dataset, y: &[f64]) -> Result<LinearModel, MlError> {
         x.check_targets(y)?;
         if self.ridge < 0.0 {
             return Err(MlError::InvalidParameter("ridge must be non-negative"));
         }
-        let (mut xtx, xty) = normal_equations(x.rows(), y, x.n_cols());
-        // Escalate the ridge a few times if the Gram matrix is singular
-        // (e.g. duplicate or constant feature columns).
+        if y.iter().any(|v| !v.is_finite()) {
+            return Err(MlError::NonFiniteData);
+        }
+        let keep = usable_columns(x);
+        if keep.is_empty() {
+            // Every column degenerate: the best constant model.
+            let mean = y.iter().sum::<f64>() / y.len() as f64;
+            return Ok(LinearModel {
+                intercept: mean,
+                weights: vec![0.0; x.n_cols()],
+            });
+        }
+        let beta = if keep.len() == x.n_cols() {
+            self.solve(x, y)?
+        } else {
+            self.solve(&x.select_columns(&keep), y)?
+        };
+        // Re-expand to the original feature layout (dropped columns get
+        // zero weight, so `predict` keeps its input contract).
+        let mut weights = vec![0.0; x.n_cols()];
+        for (w, &j) in beta[1..].iter().zip(&keep) {
+            weights[j] = *w;
+        }
+        Ok(LinearModel {
+            intercept: beta[0],
+            weights,
+        })
+    }
+
+    /// Solves the normal equations, escalating the ridge a few times if
+    /// the Gram matrix is singular (e.g. duplicate feature columns).
+    fn solve(&self, x: &Dataset, y: &[f64]) -> Result<Vec<f64>, MlError> {
+        let (xtx, xty) = normal_equations(x.rows(), y, x.n_cols());
         let mut lambda = self.ridge.max(0.0);
         for attempt in 0..6 {
             let mut sys = xtx.clone();
@@ -40,23 +75,34 @@ impl LinearRegression {
                 sys.add_diagonal(lambda);
             }
             match sys.solve_spd(&xty) {
-                Ok(beta) => {
-                    return Ok(LinearModel {
-                        intercept: beta[0],
-                        weights: beta[1..].to_vec(),
-                    })
-                }
+                Ok(beta) => return Ok(beta),
                 Err(MlError::NotPositiveDefinite) if attempt < 5 => {
                     lambda = if lambda == 0.0 { 1e-8 } else { lambda * 100.0 };
                 }
                 Err(e) => return Err(e),
             }
         }
-        // Keep the borrow checker quiet; unreachable because the last loop
-        // iteration returns either Ok or Err.
-        let _ = &mut xtx;
         Err(MlError::NotPositiveDefinite)
     }
+}
+
+/// Indices of columns that are finite throughout and not constant.
+fn usable_columns(x: &Dataset) -> Vec<usize> {
+    (0..x.n_cols())
+        .filter(|&j| {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for i in 0..x.n_rows() {
+                let v = x.row(i)[j];
+                if !v.is_finite() {
+                    return false;
+                }
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            hi - lo > 1e-12 * hi.abs().max(lo.abs()).max(1.0)
+        })
+        .collect()
 }
 
 /// A fitted linear model `y = intercept + w · x`.
@@ -157,5 +203,41 @@ mod tests {
         let x = Dataset::from_rows(vec![vec![1.0], vec![2.0], vec![3.0]]);
         let m = LinearRegression::new(1e-6).fit(&x, &[5.0, 5.0, 5.0]).unwrap();
         assert!((m.predict(&[10.0]) - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn constant_and_non_finite_columns_are_dropped() {
+        // y = 2x0; column 1 is constant, column 2 contains NaN. Both must
+        // be dropped (zero weight) without harming the fit on column 0.
+        let x = Dataset::from_rows(vec![
+            vec![1.0, 7.0, 0.0],
+            vec![2.0, 7.0, f64::NAN],
+            vec![3.0, 7.0, 1.0],
+            vec![4.0, 7.0, 2.0],
+        ]);
+        let y = vec![2.0, 4.0, 6.0, 8.0];
+        let m = LinearRegression::new(0.0).fit(&x, &y).unwrap();
+        assert_eq!(m.weights.len(), 3);
+        assert_eq!(m.weights[1], 0.0);
+        assert_eq!(m.weights[2], 0.0);
+        assert!((m.predict(&[5.0, 7.0, 9.0]) - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_degenerate_columns_yield_intercept_only_model() {
+        let x = Dataset::from_rows(vec![vec![3.0, f64::NAN], vec![3.0, 1.0], vec![3.0, 2.0]]);
+        let y = vec![4.0, 5.0, 6.0];
+        let m = LinearRegression::new(0.0).fit(&x, &y).unwrap();
+        assert_eq!(m.weights, vec![0.0, 0.0]);
+        assert!((m.predict(&[9.0, 9.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_targets_are_rejected() {
+        let x = Dataset::from_rows(vec![vec![1.0], vec![2.0]]);
+        assert_eq!(
+            LinearRegression::new(0.0).fit(&x, &[1.0, f64::INFINITY]),
+            Err(MlError::NonFiniteData)
+        );
     }
 }

@@ -66,6 +66,7 @@ impl NuSvr {
         if !(p.nu > 0.0 && p.nu <= 1.0) {
             return Err(MlError::InvalidParameter("nu must be in (0, 1]"));
         }
+        crate::svr::check_finite(x, y)?;
 
         let x_scaler = StandardScaler::fit(x);
         let y_scaler = TargetScaler::fit(y);
@@ -78,7 +79,12 @@ impl NuSvr {
             Kernel::Linear => 0.0,
         };
 
-        let (beta, bias) = nu_smo_solve(&xs, &ys, p, gamma);
+        let (beta, bias, converged) = nu_smo_solve(&xs, &ys, p, gamma);
+        if !converged {
+            return Err(MlError::DidNotConverge {
+                iterations: p.max_iter,
+            });
+        }
 
         let mut support = Vec::new();
         let mut coefs = Vec::new();
@@ -87,6 +93,11 @@ impl NuSvr {
                 support.push(xs.row(i).to_vec());
                 coefs.push(b);
             }
+        }
+        if !bias.is_finite() || coefs.iter().any(|c| !c.is_finite()) {
+            return Err(MlError::DidNotConverge {
+                iterations: p.max_iter,
+            });
         }
         Ok(SvrModel {
             kernel: p.kernel,
@@ -103,7 +114,9 @@ impl NuSvr {
 
 /// Solver_NU-style SMO: 2l variables (alpha block then alpha* block), two
 /// equality constraints maintained by pairing same-class variables only.
-fn nu_smo_solve(xs: &Dataset, ys: &[f64], p: &NuSvrParams, gamma: f64) -> (Vec<f64>, f64) {
+/// The third return value is false only when the iteration budget ran out
+/// before the stopping rule fired.
+fn nu_smo_solve(xs: &Dataset, ys: &[f64], p: &NuSvrParams, gamma: f64) -> (Vec<f64>, f64, bool) {
     let l = xs.n_rows();
     let c = p.c;
 
@@ -143,6 +156,7 @@ fn nu_smo_solve(xs: &Dataset, ys: &[f64], p: &NuSvrParams, gamma: f64) -> (Vec<f
         g[t] = s * dot + if t < l { -ys[ti] } else { ys[ti] };
     }
 
+    let mut converged = false;
     for _iter in 0..p.max_iter {
         // Per-class maximal violating pairs. For both classes the update
         // direction that increases a[i] and decreases a[j] keeps both
@@ -172,8 +186,12 @@ fn nu_smo_solve(xs: &Dataset, ys: &[f64], p: &NuSvrParams, gamma: f64) -> (Vec<f
                 }
             }
         }
-        let Some((i, j, gap)) = best else { break };
+        let Some((i, j, gap)) = best else {
+            converged = true;
+            break;
+        };
         if gap < p.tol {
+            converged = true;
             break;
         }
         // Same-class pair update: increase a[i] by d, decrease a[j] by d.
@@ -182,6 +200,8 @@ fn nu_smo_solve(xs: &Dataset, ys: &[f64], p: &NuSvrParams, gamma: f64) -> (Vec<f
         let mut d = (-g[i] + g[j]) / quad;
         d = d.min(c - a[i]).min(a[j]);
         if d <= 0.0 {
+            // Stalled at the box boundary: no further progress is possible.
+            converged = true;
             break;
         }
         a[i] += d;
@@ -230,7 +250,7 @@ fn nu_smo_solve(xs: &Dataset, ys: &[f64], p: &NuSvrParams, gamma: f64) -> (Vec<f
     let bias = -(r1 - r2) / 2.0;
 
     let beta: Vec<f64> = (0..l).map(|i| a[i] - a[i + l]).collect();
-    (beta, bias)
+    (beta, bias, converged)
 }
 
 #[cfg(test)]
@@ -329,6 +349,28 @@ mod tests {
                 Err(MlError::InvalidParameter(_))
             ));
         }
+    }
+
+    #[test]
+    fn exhausted_iteration_budget_is_reported() {
+        let (x, y) = grid();
+        assert!(matches!(
+            NuSvr::new(NuSvrParams {
+                max_iter: 1,
+                ..NuSvrParams::default()
+            })
+            .fit(&x, &y),
+            Err(MlError::DidNotConverge { iterations: 1 })
+        ));
+    }
+
+    #[test]
+    fn non_finite_training_data_is_rejected() {
+        let x = Dataset::from_rows(vec![vec![1.0], vec![2.0], vec![3.0]]);
+        assert!(matches!(
+            NuSvr::new(NuSvrParams::default()).fit(&x, &[1.0, f64::NEG_INFINITY, 3.0]),
+            Err(MlError::NonFiniteData)
+        ));
     }
 
     #[test]

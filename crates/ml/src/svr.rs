@@ -89,6 +89,7 @@ impl Svr {
         if p.epsilon < 0.0 {
             return Err(MlError::InvalidParameter("epsilon must be non-negative"));
         }
+        check_finite(x, y)?;
 
         let x_scaler = StandardScaler::fit(x);
         let y_scaler = TargetScaler::fit(y);
@@ -101,7 +102,12 @@ impl Svr {
             Kernel::Linear => 0.0,
         };
 
-        let (beta, bias) = smo_solve(&xs, &ys, p, gamma);
+        let (beta, bias, converged) = smo_solve(&xs, &ys, p, gamma);
+        if !converged {
+            return Err(MlError::DidNotConverge {
+                iterations: p.max_iter,
+            });
+        }
 
         // Keep only support vectors (nonzero coefficients).
         let mut support = Vec::new();
@@ -111,6 +117,11 @@ impl Svr {
                 support.push(xs.row(i).to_vec());
                 coefs.push(b);
             }
+        }
+        if !bias.is_finite() || coefs.iter().any(|c| !c.is_finite()) {
+            return Err(MlError::DidNotConverge {
+                iterations: p.max_iter,
+            });
         }
 
         Ok(SvrModel {
@@ -126,11 +137,24 @@ impl Svr {
     }
 }
 
+/// Returns an error if any feature or target value is NaN or infinite
+/// (such values would silently poison the kernel matrix and gradients).
+pub(crate) fn check_finite(x: &Dataset, y: &[f64]) -> Result<(), MlError> {
+    let rows_ok = x.rows().all(|r| r.iter().all(|v| v.is_finite()));
+    if rows_ok && y.iter().all(|v| v.is_finite()) {
+        Ok(())
+    } else {
+        Err(MlError::NonFiniteData)
+    }
+}
+
 /// SMO over the 2l-variable epsilon-SVR dual (libsvm formulation):
 /// variables `a`, signs `s_t` (+1 for the alpha block, -1 for alpha*),
 /// linear term `p_t = eps - y` / `eps + y`, constraint `sum s_t a_t = 0`,
-/// box `[0, C]`. Returns `(beta, bias)` with `beta_i = a_i - a_{i+l}`.
-fn smo_solve(xs: &Dataset, ys: &[f64], p: &SvrParams, gamma: f64) -> (Vec<f64>, f64) {
+/// box `[0, C]`. Returns `(beta, bias, converged)` with
+/// `beta_i = a_i - a_{i+l}`; `converged` is false only when the iteration
+/// budget ran out before the KKT stopping rule fired.
+fn smo_solve(xs: &Dataset, ys: &[f64], p: &SvrParams, gamma: f64) -> (Vec<f64>, f64, bool) {
     let l = xs.n_rows();
     let n = 2 * l;
     let c = p.c;
@@ -160,6 +184,7 @@ fn smo_solve(xs: &Dataset, ys: &[f64], p: &SvrParams, gamma: f64) -> (Vec<f64>, 
         })
         .collect();
 
+    let mut converged = false;
     for _iter in 0..p.max_iter {
         // Working-set selection: maximal violating pair.
         let mut i_sel = usize::MAX;
@@ -181,6 +206,7 @@ fn smo_solve(xs: &Dataset, ys: &[f64], p: &SvrParams, gamma: f64) -> (Vec<f64>, 
             }
         }
         if i_sel == usize::MAX || j_sel == usize::MAX || g_max - g_min < p.tol {
+            converged = true;
             break;
         }
         let (i, j) = (i_sel, j_sel);
@@ -248,6 +274,9 @@ fn smo_solve(xs: &Dataset, ys: &[f64], p: &SvrParams, gamma: f64) -> (Vec<f64>, 
         let da_i = a[i] - old_ai;
         let da_j = a[j] - old_aj;
         if da_i.abs() < 1e-15 && da_j.abs() < 1e-15 {
+            // Stalled at the box boundary: no further progress is possible,
+            // treat as converged rather than spinning to the cap.
+            converged = true;
             break;
         }
         for (t, gt) in g.iter_mut().enumerate() {
@@ -293,7 +322,7 @@ fn smo_solve(xs: &Dataset, ys: &[f64], p: &SvrParams, gamma: f64) -> (Vec<f64>, 
     };
 
     let beta: Vec<f64> = (0..l).map(|i| a[i] - a[i + l]).collect();
-    (beta, bias)
+    (beta, bias, converged)
 }
 
 /// A fitted SVR model.
@@ -433,6 +462,33 @@ mod tests {
             })
             .fit(&x, &y),
             Err(MlError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn exhausted_iteration_budget_is_reported() {
+        let (x, y) = grid_2d();
+        assert!(matches!(
+            Svr::new(SvrParams {
+                max_iter: 1,
+                ..SvrParams::default()
+            })
+            .fit(&x, &y),
+            Err(MlError::DidNotConverge { iterations: 1 })
+        ));
+    }
+
+    #[test]
+    fn non_finite_training_data_is_rejected() {
+        let x = Dataset::from_rows(vec![vec![1.0], vec![f64::NAN], vec![3.0]]);
+        assert!(matches!(
+            Svr::new(SvrParams::default()).fit(&x, &[1.0, 2.0, 3.0]),
+            Err(MlError::NonFiniteData)
+        ));
+        let x = Dataset::from_rows(vec![vec![1.0], vec![2.0]]);
+        assert!(matches!(
+            Svr::new(SvrParams::default()).fit(&x, &[1.0, f64::NAN]),
+            Err(MlError::NonFiniteData)
         ));
     }
 

@@ -6,12 +6,20 @@
 //! order plans but do not predict latency (Section 5.2), so routing on
 //! cost misclassifies; routing on learned QPP predictions does far better.
 //!
+//! The history here is collected under fault injection (aborts,
+//! stragglers, corrupted optimizer estimates), so the manager routes on
+//! `predict_checked`: degraded predictions are not trusted with the
+//! interactive SLA and the query goes to the batch pool instead.
+//!
 //! ```text
 //! cargo run --release --example resource_manager
 //! ```
 
+use engine::faults::FaultPlan;
 use engine::{Catalog, Simulator};
-use qpp::{ExecutedQuery, Method, QppConfig, QppPredictor, QueryDataset};
+use qpp::{
+    CollectionConfig, ExecutedQuery, Method, QppConfig, QppPredictor, QueryDataset,
+};
 use tpch::Workload;
 
 /// Queries predicted under this latency go to the interactive pool.
@@ -22,11 +30,41 @@ fn main() {
     let catalog = Catalog::new(sf, 1);
     let simulator = Simulator::new();
 
-    // Historical workload: what the system has executed before.
+    // Historical workload: what the system has executed before — collected
+    // on a flaky cluster, with retries and outlier quarantine.
     let history = Workload::generate(&[1, 3, 5, 6, 10, 12, 14, 19], 12, sf, 1);
-    let dataset = QueryDataset::execute(&catalog, &history, &simulator, 5, f64::INFINITY);
+    let faults = FaultPlan {
+        abort_prob: 0.08,
+        straggler_prob: 0.04,
+        corrupt_prob: 0.03,
+        seed: 42,
+        ..FaultPlan::none()
+    };
+    let (dataset, report) = QueryDataset::execute_with_faults(
+        &catalog,
+        &history,
+        &simulator,
+        5,
+        f64::INFINITY,
+        &faults,
+        &CollectionConfig::default(),
+    );
+    println!(
+        "collected history: {}/{} queries ({} retries, {} dropped, {} quarantined)\n",
+        report.succeeded,
+        report.attempted,
+        report.retried,
+        report.dropped(),
+        report.quarantined
+    );
     let refs: Vec<&ExecutedQuery> = dataset.queries.iter().collect();
-    let qpp = QppPredictor::train(&refs, QppConfig::default()).expect("training");
+    let qpp = match QppPredictor::train(&refs, QppConfig::default()) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cannot train the router: {e}");
+            std::process::exit(1);
+        }
+    };
 
     // Incoming queue: fresh instances.
     let queue = Workload::generate(&[1, 3, 5, 6, 10, 12, 14, 19], 4, sf, 999);
@@ -35,7 +73,7 @@ fn main() {
     // Cost-threshold baseline: calibrate the cost cutoff on history so the
     // same *fraction* of queries routes interactive.
     let mut costs: Vec<f64> = dataset.queries.iter().map(|q| q.plan.est.total_cost).collect();
-    costs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    costs.sort_by(f64::total_cmp);
     let interactive_frac = dataset
         .queries
         .iter()
@@ -46,6 +84,7 @@ fn main() {
 
     let mut qpp_correct = 0;
     let mut cost_correct = 0;
+    let mut degraded_routes = 0;
     println!(
         "routing {} incoming queries (SLA: {}s)\n",
         incoming.len(),
@@ -57,8 +96,13 @@ fn main() {
     );
     for q in &incoming.queries {
         let actually_interactive = q.latency() < INTERACTIVE_SLA_SECS;
-        let pred = qpp.predict(q, Method::PlanLevel);
-        let qpp_route = pred < INTERACTIVE_SLA_SECS;
+        let pred = qpp.predict_checked(q, Method::PlanLevel);
+        // A degraded prediction means the model tiers could not be
+        // trusted; the safe routing choice is the batch pool.
+        let qpp_route = !pred.degraded && pred.value < INTERACTIVE_SLA_SECS;
+        if pred.degraded {
+            degraded_routes += 1;
+        }
         let cost_route = q.plan.est.total_cost < cost_cutoff;
         if qpp_route == actually_interactive {
             qpp_correct += 1;
@@ -70,7 +114,7 @@ fn main() {
             "{:<10} {:>10.1} {:>12.1} {:>12.0} {:>8} {:>8}",
             format!("t{}", q.template),
             q.latency(),
-            pred,
+            pred.value,
             q.plan.est.total_cost,
             mark(qpp_route == actually_interactive),
             mark(cost_route == actually_interactive),
@@ -78,9 +122,10 @@ fn main() {
     }
     let n = incoming.len() as f64;
     println!(
-        "\nrouting accuracy: QPP {:.0}%  vs cost-threshold {:.0}%",
+        "\nrouting accuracy: QPP {:.0}%  vs cost-threshold {:.0}%  ({} degraded → batch)",
         qpp_correct as f64 / n * 100.0,
-        cost_correct as f64 / n * 100.0
+        cost_correct as f64 / n * 100.0,
+        degraded_routes
     );
 }
 

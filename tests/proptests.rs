@@ -1,11 +1,28 @@
 //! Property-based tests over the core invariants of every layer.
 
+use engine::faults::FaultPlan;
 use engine::{Catalog, Planner, SimConfig, Simulator};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::OnceLock;
 use tpch::schema::{col, TableId, ALL_TABLES};
 use tpch::types::CmpOp;
+use tpch::Workload;
+
+/// One predictor trained on clean data, shared by the fault-injection
+/// properties below (training is far too slow to repeat per case).
+fn predictor() -> &'static qpp::QppPredictor {
+    static PREDICTOR: OnceLock<qpp::QppPredictor> = OnceLock::new();
+    PREDICTOR.get_or_init(|| {
+        let catalog = Catalog::new(0.1, 1);
+        let workload = Workload::generate(&[1, 3, 6, 14], 8, 0.1, 7);
+        let ds =
+            qpp::QueryDataset::execute(&catalog, &workload, &Simulator::new(), 11, f64::INFINITY);
+        let refs: Vec<&qpp::ExecutedQuery> = ds.queries.iter().collect();
+        qpp::QppPredictor::train(&refs, qpp::QppConfig::default()).expect("training")
+    })
+}
 
 fn any_table() -> impl Strategy<Value = TableId> {
     prop::sample::select(ALL_TABLES.to_vec())
@@ -199,5 +216,102 @@ proptest! {
         let a = sim.execute(&plan, 0.1, s1);
         let b = sim.execute(&plan, 0.1, s2);
         prop_assert!((a.total_secs - b.total_secs).abs() < 1e-12);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under any fault rates up to 30%, collection accounts for every
+    /// query, and checked predictions on the survivors — and even on
+    /// deliberately corrupted copies — are always finite and
+    /// non-negative, with the producing tier recorded.
+    #[test]
+    fn checked_predictions_survive_arbitrary_faults(
+        seed in 0u64..500,
+        abort in 0.0f64..0.3,
+        straggle in 0.0f64..0.3,
+        corrupt in 0.0f64..0.3,
+    ) {
+        let catalog = Catalog::new(0.1, 1);
+        let workload = Workload::generate(&[1, 3, 6], 3, 0.1, seed.wrapping_add(1));
+        let faults = FaultPlan {
+            abort_prob: abort,
+            straggler_prob: straggle,
+            corrupt_prob: corrupt,
+            seed,
+            ..FaultPlan::none()
+        };
+        let (ds, report) = qpp::QueryDataset::execute_with_faults(
+            &catalog,
+            &workload,
+            &Simulator::new(),
+            seed ^ 0x9E,
+            f64::INFINITY,
+            &faults,
+            &qpp::CollectionConfig::default(),
+        );
+        prop_assert!(report.reconciles(), "{report:?}");
+        let p = predictor();
+        let methods = [
+            qpp::Method::PlanLevel,
+            qpp::Method::OperatorLevel,
+            qpp::Method::Hybrid(qpp::PlanOrdering::ErrorBased),
+        ];
+        for q in &ds.queries {
+            for method in methods {
+                let pred = p.predict_checked(q, method);
+                prop_assert!(
+                    pred.value.is_finite() && pred.value >= 0.0,
+                    "{method:?} on survivor: {pred:?}"
+                );
+            }
+        }
+        // Corrupt a survivor's logged estimates in place: predictions
+        // must degrade, never go non-finite or negative.
+        if let Some(q) = ds.queries.first() {
+            let mut q = q.clone();
+            let always = FaultPlan { corrupt_prob: 1.0, ..faults.clone() };
+            always.corrupt_estimates(&mut q.plan, seed);
+            for method in methods {
+                let pred = p.predict_checked(&q, method);
+                prop_assert!(
+                    pred.value.is_finite() && pred.value >= 0.0,
+                    "{method:?} on corrupted: {pred:?}"
+                );
+            }
+        }
+    }
+
+    /// Fallible execution is deterministic: same plan, seed, and fault
+    /// plan yield the same trace or the same error.
+    #[test]
+    fn try_execute_is_deterministic_under_faults(
+        template in prop::sample::select(vec![1u8, 3, 6, 14]),
+        seed in 0u64..300,
+        abort in 0.0f64..0.3,
+        straggle in 0.0f64..0.3,
+    ) {
+        let catalog = Catalog::new(0.1, 1);
+        let planner = Planner::new(&catalog);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = planner.plan(&tpch::instantiate(template, 0.1, &mut rng));
+        let sim = Simulator::new();
+        let faults = FaultPlan {
+            abort_prob: abort,
+            straggler_prob: straggle,
+            seed,
+            ..FaultPlan::none()
+        };
+        let a = sim.try_execute(&plan, 0.1, seed, &faults);
+        let b = sim.try_execute(&plan, 0.1, seed, &faults);
+        match (a, b) {
+            (Ok(ta), Ok(tb)) => {
+                prop_assert_eq!(ta.total_secs, tb.total_secs);
+                prop_assert!(ta.total_secs.is_finite() && ta.total_secs > 0.0);
+            }
+            (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+            (x, y) => prop_assert!(false, "outcome mismatch: {:?} vs {:?}", x, y),
+        }
     }
 }
