@@ -117,12 +117,67 @@ fn bench_ml(c: &mut Criterion) {
             std::hint::black_box(LearnerKind::Svr(ml::SvrParams::default()).fit(&x, &y))
         })
     });
+    c.bench_function("ml/nusvr_fit_200x8", |b| {
+        b.iter(|| {
+            std::hint::black_box(LearnerKind::NuSvr(ml::NuSvrParams::default()).fit(&x, &y))
+        })
+    });
+    // Five-fold CV over the same data: exercises the parallel fold fan-out
+    // and the Gram cache (each distinct fold misses once, then hits).
+    let folds = ml::cv::kfold(x.n_rows(), 5, 4);
+    c.bench_function("ml/cv5_svr_200x8", |b| {
+        b.iter(|| {
+            std::hint::black_box(ml::cv::cross_validate(
+                &LearnerKind::Svr(ml::SvrParams::default()),
+                &x,
+                &y,
+                &folds,
+            ))
+        })
+    });
+}
+
+fn bench_collection(c: &mut Criterion) {
+    let catalog = Catalog::new(0.1, 1);
+    let workload = Workload::generate(&[1, 3, 6, 14], 10, 0.1, 7);
+    let sim = Simulator::new();
+    c.bench_function("collect/execute_40_queries", |b| {
+        b.iter(|| {
+            std::hint::black_box(QueryDataset::execute(
+                &catalog,
+                &workload,
+                &sim,
+                11,
+                f64::INFINITY,
+            ))
+        })
+    });
+}
+
+fn bench_hybrid_build(c: &mut Criterion) {
+    use qpp::hybrid::{train_hybrid, HybridConfig};
+    let ds = small_dataset();
+    let refs: Vec<&ExecutedQuery> = ds.queries.iter().collect();
+    let op = OpLevelModel::train(&refs, &OpModelConfig::default()).unwrap();
+    let cfg = HybridConfig {
+        max_iterations: 6,
+        min_frequency: 3,
+        ..HybridConfig::default()
+    };
+    c.bench_function("train/hybrid_build_40_queries", |b| {
+        b.iter_batched(
+            || op.clone(),
+            |op| std::hint::black_box(train_hybrid(&refs, op, &cfg)),
+            BatchSize::SmallInput,
+        )
+    });
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_planner, bench_simulator, bench_features, bench_training,
-              bench_prediction, bench_subplan_index, bench_ml
+              bench_prediction, bench_subplan_index, bench_ml, bench_collection,
+              bench_hybrid_build
 }
 criterion_main!(benches);

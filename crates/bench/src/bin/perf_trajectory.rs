@@ -1,0 +1,133 @@
+//! Serial-vs-parallel performance trajectory for the training pipeline.
+//!
+//! Runs the full offline path — trace collection, 5-fold plan-level CV,
+//! operator-model fit plus hybrid greedy build — once pinned to a single
+//! worker thread and once with the full thread pool, in the same process,
+//! and writes the wall-clock numbers to a machine-readable JSON file
+//! (default `BENCH_pr2.json`). Entries use the `{name, value, unit}`
+//! shape so external tooling can diff runs.
+//!
+//! Usage: `perf_trajectory [OUT_PATH] [--per-template N]`
+
+use qpp::hybrid::{train_hybrid, HybridConfig};
+use qpp::op_model::{OpLevelModel, OpModelConfig};
+use qpp::plan_model::PlanModelConfig;
+use qpp::ExecutedQuery;
+use qpp_bench::{build_dataset_sized, plan_level_cv};
+use std::time::Instant;
+
+const TEMPLATES: &[u8] = &[1, 3, 5, 6, 10, 12, 14];
+
+struct Measured {
+    collection_secs: f64,
+    cv_secs: f64,
+    hybrid_secs: f64,
+}
+
+impl Measured {
+    fn total(&self) -> f64 {
+        self.collection_secs + self.cv_secs + self.hybrid_secs
+    }
+}
+
+fn measure(threads: usize, per_template: usize) -> Measured {
+    ml::par::set_threads(threads);
+    // Start each configuration from a cold kernel cache so the serial and
+    // parallel runs do identical work.
+    ml::gram::GramCache::global().clear();
+
+    let t0 = Instant::now();
+    let ds = build_dataset_sized(1.0, TEMPLATES, per_template);
+    let collection_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let cv = plan_level_cv(&ds, &PlanModelConfig::default());
+    let cv_secs = t1.elapsed().as_secs_f64();
+    assert!(cv.overall_error().is_finite(), "CV produced non-finite error");
+
+    let t2 = Instant::now();
+    let refs: Vec<&ExecutedQuery> = ds.queries.iter().collect();
+    let op = OpLevelModel::train(&refs, &OpModelConfig::default()).expect("op-level training");
+    let cfg = HybridConfig {
+        max_iterations: 6,
+        min_frequency: 3,
+        ..HybridConfig::default()
+    };
+    let (_, records) = train_hybrid(&refs, op, &cfg).expect("hybrid training");
+    let hybrid_secs = t2.elapsed().as_secs_f64();
+    assert!(!records.is_empty(), "hybrid build produced no iterations");
+
+    Measured {
+        collection_secs,
+        cv_secs,
+        hybrid_secs,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr2.json".to_string());
+    let per_template = args
+        .iter()
+        .position(|a| a == "--per-template")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+
+    eprintln!("== perf trajectory: serial (1 thread) ==");
+    let serial = measure(1, per_template);
+    eprintln!(
+        "   collection {:.3}s  cv5 {:.3}s  hybrid {:.3}s  total {:.3}s",
+        serial.collection_secs,
+        serial.cv_secs,
+        serial.hybrid_secs,
+        serial.total()
+    );
+
+    let threads = {
+        ml::par::set_threads(0);
+        ml::par::threads()
+    };
+    eprintln!("== perf trajectory: parallel ({threads} threads) ==");
+    let parallel = measure(0, per_template);
+    eprintln!(
+        "   collection {:.3}s  cv5 {:.3}s  hybrid {:.3}s  total {:.3}s",
+        parallel.collection_secs,
+        parallel.cv_secs,
+        parallel.hybrid_secs,
+        parallel.total()
+    );
+    ml::par::set_threads(0);
+
+    let speedup = serial.total() / parallel.total().max(1e-9);
+    eprintln!("== end-to-end speedup: {speedup:.2}x ==");
+
+    let entry = |name: &str, value: f64, unit: &str| {
+        serde_json::json!({ "name": name, "value": value, "unit": unit })
+    };
+    let doc = serde_json::json!({
+        "tool": "perf_trajectory",
+        "pr": 2,
+        "threads": threads,
+        "per_template": per_template,
+        "templates": TEMPLATES,
+        "benches": [
+            entry("collection/serial_secs", serial.collection_secs, "s"),
+            entry("collection/parallel_secs", parallel.collection_secs, "s"),
+            entry("cv5/serial_secs", serial.cv_secs, "s"),
+            entry("cv5/parallel_secs", parallel.cv_secs, "s"),
+            entry("hybrid_build/serial_secs", serial.hybrid_secs, "s"),
+            entry("hybrid_build/parallel_secs", parallel.hybrid_secs, "s"),
+            entry("end_to_end_train/serial_secs", serial.total(), "s"),
+            entry("end_to_end_train/parallel_secs", parallel.total(), "s"),
+            entry("end_to_end_train/speedup", speedup, "x"),
+        ],
+    });
+    let rendered = serde_json::to_string_pretty(&doc).expect("serialize bench report");
+    std::fs::write(&out_path, rendered + "\n").expect("write bench report");
+    println!("{out_path}");
+}

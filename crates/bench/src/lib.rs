@@ -12,7 +12,7 @@
 pub mod report;
 
 use engine::{Catalog, Simulator};
-use ml::cv::stratified_kfold;
+use ml::cv::{stratified_kfold, Fold};
 use ml::metrics::mean_relative_error;
 use qpp::dataset::{ExecutedQuery, QueryDataset, ONE_HOUR_SECS};
 use qpp::hybrid::{train_hybrid, HybridConfig, HybridModel};
@@ -103,21 +103,40 @@ impl CvOutcome {
 
 /// Generic stratified-CV driver: `fit` builds a model from training
 /// queries, `predict` scores one query.
-pub fn cross_validate_method<M>(
+///
+/// Folds train and score concurrently when more than one worker thread is
+/// configured (see `ml::par`); each fold writes a disjoint set of row
+/// indices, and results are merged in fold order, so the outcome is
+/// identical to a serial run.
+pub fn cross_validate_method<M: Send>(
     ds: &QueryDataset,
     seed: u64,
-    fit: impl Fn(&[&ExecutedQuery]) -> M,
-    predict: impl Fn(&M, &ExecutedQuery) -> f64,
+    fit: impl Fn(&[&ExecutedQuery]) -> M + Sync,
+    predict: impl Fn(&M, &ExecutedQuery) -> f64 + Sync,
 ) -> CvOutcome {
     let strata = ds.strata();
     let folds = stratified_kfold(&strata, CV_FOLDS.min(ds.len()).max(2), seed);
-    let mut rows = vec![(0u8, 0.0, 0.0); ds.len()];
-    for fold in &folds {
+    let run_fold = |fold: &Fold| -> Vec<(usize, (u8, f64, f64))> {
         let train = ds.subset(&fold.train);
         let model = fit(&train);
-        for &i in &fold.test {
-            let q = &ds.queries[i];
-            rows[i] = (q.template, q.latency(), predict(&model, q));
+        fold.test
+            .iter()
+            .map(|&i| {
+                let q = &ds.queries[i];
+                (i, (q.template, q.latency(), predict(&model, q)))
+            })
+            .collect()
+    };
+    let fold_rows: Vec<Vec<(usize, (u8, f64, f64))>> =
+        if folds.len() > 1 && ml::par::threads() > 1 {
+            ml::par::par_map(&folds, |_, fold| run_fold(fold))
+        } else {
+            folds.iter().map(run_fold).collect()
+        };
+    let mut rows = vec![(0u8, 0.0, 0.0); ds.len()];
+    for per_fold in fold_rows {
+        for (i, row) in per_fold {
+            rows[i] = row;
         }
     }
     CvOutcome { rows }

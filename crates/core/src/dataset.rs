@@ -92,6 +92,26 @@ impl CollectionReport {
     }
 }
 
+/// Result of running one workload query to completion (all attempts),
+/// produced on a worker thread and merged into the report serially.
+struct QueryAttemptResult {
+    /// Failed attempts that were retried (feeds `CollectionReport::retried`
+    /// and the deterministic backoff replay).
+    retried: usize,
+    outcome: AttemptOutcome,
+}
+
+enum AttemptOutcome {
+    /// The query executed within limits and enters the dataset.
+    Executed(Box<ExecutedQuery>),
+    /// All attempts missed the simulator's timeout budget.
+    DroppedTimeout,
+    /// All attempts aborted.
+    DroppedAborted,
+    /// Executed, but past the collection time limit (the one-hour rule).
+    OverLimit { template: u8 },
+}
+
 /// One executed query: plan, logged features, observed performance.
 #[derive(Debug, Clone)]
 pub struct ExecutedQuery {
@@ -192,10 +212,17 @@ impl QueryDataset {
             attempted: workload.len(),
             ..CollectionReport::default()
         };
-        for (i, spec) in workload.queries.iter().enumerate() {
+        // Every query owns an independent seeded RNG (its attempt seeds
+        // derive only from `seed`, its workload index, and the attempt
+        // number), so queries can execute on worker threads while staying
+        // byte-identical to the serial path. The report is rebuilt from the
+        // per-query results afterwards, in workload order, replaying the
+        // same floating-point accumulation the serial loop performed.
+        let run_query = |i: usize, spec: &tpch::QuerySpec| -> QueryAttemptResult {
             let mut plan = planner.plan(spec);
             let mut outcome: Option<(Trace, u64)> = None;
             let mut last_err: Option<ExecError> = None;
+            let mut retried = 0usize;
             for attempt in 0..=cfg.max_retries {
                 // Attempt 0 uses exactly the seed `execute` always used
                 // (seed compatibility); retries decorrelate with a large
@@ -204,8 +231,7 @@ impl QueryDataset {
                     .wrapping_add(i as u64)
                     .wrapping_add((attempt as u64).wrapping_mul(0x5851_F42D_4C95_7F2D));
                 if attempt > 0 {
-                    report.retried += 1;
-                    report.backoff_secs += cfg.backoff_base_secs * (1u64 << (attempt - 1).min(32)) as f64;
+                    retried += 1;
                 }
                 match simulator.try_execute(&plan, catalog.sf, exec_seed, faults) {
                     Ok(trace) => {
@@ -216,19 +242,19 @@ impl QueryDataset {
                 }
             }
             let Some((trace, exec_seed)) = outcome else {
-                match last_err {
-                    Some(ExecError::Timeout { .. }) => report.dropped_timeout += 1,
-                    _ => report.dropped_aborted += 1,
-                }
-                continue;
+                let outcome = match last_err {
+                    Some(ExecError::Timeout { .. }) => AttemptOutcome::DroppedTimeout,
+                    _ => AttemptOutcome::DroppedAborted,
+                };
+                return QueryAttemptResult { retried, outcome };
             };
             if trace.total_secs > time_limit_secs {
-                report.dropped_over_limit += 1;
-                match timeouts.iter_mut().find(|(t, _)| *t == spec.template) {
-                    Some((_, n)) => *n += 1,
-                    None => timeouts.push((spec.template, 1)),
-                }
-                continue;
+                return QueryAttemptResult {
+                    retried,
+                    outcome: AttemptOutcome::OverLimit {
+                        template: spec.template,
+                    },
+                };
             }
             // Corrupt the *logged* estimates after execution: the truth
             // annotations (the simulator's input) are untouched, exactly
@@ -237,12 +263,44 @@ impl QueryDataset {
                 faults.corrupt_estimates(&mut plan, exec_seed);
             }
             let truth_costs = recost_truth(&plan, work_mem);
-            queries.push(ExecutedQuery {
-                template: spec.template,
-                plan,
-                truth_costs,
-                trace,
-            });
+            QueryAttemptResult {
+                retried,
+                outcome: AttemptOutcome::Executed(Box::new(ExecutedQuery {
+                    template: spec.template,
+                    plan,
+                    truth_costs,
+                    trace,
+                })),
+            }
+        };
+        let results: Vec<QueryAttemptResult> = if workload.len() > 1 && ml::par::threads() > 1 {
+            ml::par::par_map(&workload.queries, |i, spec| run_query(i, spec))
+        } else {
+            workload
+                .queries
+                .iter()
+                .enumerate()
+                .map(|(i, spec)| run_query(i, spec))
+                .collect()
+        };
+        for r in results {
+            for attempt in 1..=r.retried {
+                report.retried += 1;
+                report.backoff_secs +=
+                    cfg.backoff_base_secs * (1u64 << (attempt - 1).min(32)) as f64;
+            }
+            match r.outcome {
+                AttemptOutcome::Executed(q) => queries.push(*q),
+                AttemptOutcome::DroppedTimeout => report.dropped_timeout += 1,
+                AttemptOutcome::DroppedAborted => report.dropped_aborted += 1,
+                AttemptOutcome::OverLimit { template } => {
+                    report.dropped_over_limit += 1;
+                    match timeouts.iter_mut().find(|(t, _)| *t == template) {
+                        Some((_, n)) => *n += 1,
+                        None => timeouts.push((template, 1)),
+                    }
+                }
+            }
         }
         // Quarantine 1: non-finite logged features or latency.
         let mut kept = Vec::with_capacity(queries.len());

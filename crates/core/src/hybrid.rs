@@ -246,7 +246,11 @@ pub fn train_hybrid(
 ) -> Result<(HybridModel, Vec<IterationRecord>), QppError> {
     let source = op_model.source();
     let mut model = HybridModel::operator_only(op_model);
-    let views: Vec<Vec<NodeView>> = queries.iter().map(|q| q.views(source)).collect();
+    let views: Vec<Vec<NodeView>> = if queries.len() > 1 && ml::par::threads() > 1 {
+        ml::par::par_map(queries, |_, q| q.views(source))
+    } else {
+        queries.iter().map(|q| q.views(source)).collect()
+    };
     let plans: Vec<(u8, &PlanNode)> = queries.iter().map(|q| (q.template, &q.plan)).collect();
     let index = SubplanIndex::build(&plans, config.min_size);
 
@@ -309,15 +313,33 @@ pub fn train_subplan_model(
         y_run.push(t.run);
     }
     let folds = kfold(x.n_rows(), config.folds.min(x.n_rows()).max(2), config.seed);
-    let start = FeatureModel::train(
-        &x,
-        &y_start,
-        &folds,
-        &config.learner,
-        &config.selection,
-        config.log_target,
-    )?;
-    let run = FeatureModel::train(&x, &y_run, &folds, &config.learner, &config.selection, config.log_target)?;
+    // The start- and run-time heads train on the same design matrix and
+    // folds, independently — run them on two threads. The start head's
+    // error is checked first, matching the serial statement order.
+    let (start_res, run_res) = ml::par::join2(
+        || {
+            FeatureModel::train(
+                &x,
+                &y_start,
+                &folds,
+                &config.learner,
+                &config.selection,
+                config.log_target,
+            )
+        },
+        || {
+            FeatureModel::train(
+                &x,
+                &y_run,
+                &folds,
+                &config.learner,
+                &config.selection,
+                config.log_target,
+            )
+        },
+    );
+    let start = start_res?;
+    let run = run_res?;
     Ok(SubplanModel {
         start,
         run,
@@ -332,11 +354,15 @@ pub fn training_error(
     views: &[Vec<NodeView>],
 ) -> f64 {
     let actual: Vec<f64> = queries.iter().map(|q| q.latency()).collect();
-    let preds: Vec<f64> = queries
-        .iter()
-        .zip(views)
-        .map(|(q, v)| model.predict_plan(&q.plan, v).latency)
-        .collect();
+    let preds: Vec<f64> = if queries.len() > 1 && ml::par::threads() > 1 {
+        ml::par::par_map(queries, |qi, q| model.predict_plan(&q.plan, &views[qi]).latency)
+    } else {
+        queries
+            .iter()
+            .zip(views)
+            .map(|(q, v)| model.predict_plan(&q.plan, v).latency)
+            .collect()
+    };
     mean_relative_error(&actual, &preds)
 }
 
@@ -351,22 +377,41 @@ fn next_candidate(
     config: &HybridConfig,
     rejected: &HashSet<StructureKey>,
 ) -> Option<(StructureKey, String)> {
-    // Per-node predictions (for error attribution) and coverage.
-    let mut node_errors: HashMap<(usize, usize), f64> = HashMap::new();
-    let mut covered: Vec<Vec<bool>> = Vec::with_capacity(queries.len());
-    for (qi, q) in queries.iter().enumerate() {
+    // Per-node predictions (for error attribution) and coverage. Each
+    // query's prediction is independent, so the walk fans out; the error
+    // map is merged serially in query order.
+    let per_query_walk = |qi: usize, q: &ExecutedQuery| -> (Vec<bool>, Vec<(usize, f64)>) {
         let pred = model.predict_plan(&q.plan, &views[qi]);
         let mut cov = vec![false; q.plan.node_count()];
+        let mut errs = Vec::new();
         for (ni, np) in pred.nodes.iter().enumerate() {
             match np {
                 NodePrediction::Covered | NodePrediction::PlanModel { .. } => cov[ni] = true,
                 NodePrediction::Operator { times } => {
                     let actual = q.trace.timings[ni].run;
                     if actual > 0.0 {
-                        node_errors.insert((qi, ni), relative_error(actual, times.1));
+                        errs.push((ni, relative_error(actual, times.1)));
                     }
                 }
             }
+        }
+        (cov, errs)
+    };
+    let walked: Vec<(Vec<bool>, Vec<(usize, f64)>)> =
+        if queries.len() > 1 && ml::par::threads() > 1 {
+            ml::par::par_map(queries, |qi, q| per_query_walk(qi, q))
+        } else {
+            queries
+                .iter()
+                .enumerate()
+                .map(|(qi, q)| per_query_walk(qi, q))
+                .collect()
+        };
+    let mut node_errors: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut covered: Vec<Vec<bool>> = Vec::with_capacity(queries.len());
+    for (qi, (cov, errs)) in walked.into_iter().enumerate() {
+        for (ni, e) in errs {
+            node_errors.insert((qi, ni), e);
         }
         covered.push(cov);
     }

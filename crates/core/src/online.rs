@@ -139,15 +139,17 @@ impl<'a> OnlinePredictor<'a> {
         // held-out one) so an overfit fragment model cannot win on
         // in-sample error.
         let occs = &info.occurrences;
-        let feats: Vec<Vec<f64>> = occs
-            .iter()
-            .map(|occ| {
-                let q = self.train[occ.query];
-                let node = crate::subplan::subtree_at(&q.plan, occ.node_idx);
-                let slice = &self.views[occ.query][occ.node_idx..occ.node_idx + occ.size];
-                crate::features::plan_features(node, slice)
-            })
-            .collect();
+        let feat_of = |occ: &crate::subplan::Occurrence| -> Vec<f64> {
+            let q = self.train[occ.query];
+            let node = crate::subplan::subtree_at(&q.plan, occ.node_idx);
+            let slice = &self.views[occ.query][occ.node_idx..occ.node_idx + occ.size];
+            crate::features::plan_features(node, slice)
+        };
+        let feats: Vec<Vec<f64>> = if occs.len() > 1 && ml::par::threads() > 1 {
+            ml::par::par_map(occs, |_, occ| feat_of(occ))
+        } else {
+            occs.iter().map(feat_of).collect()
+        };
         let actuals: Vec<f64> = occs
             .iter()
             .map(|occ| self.train[occ.query].trace.timings[occ.node_idx].run)
@@ -155,10 +157,10 @@ impl<'a> OnlinePredictor<'a> {
 
         let k = 3.min(occs.len()).max(2);
         let folds = ml::cv::kfold(occs.len(), k, 0xB0A7);
-        let mut plan_err = 0.0;
-        let mut op_err = 0.0;
-        let mut n = 0usize;
-        for fold in &folds {
+        // Folds score independently; each returns its partial error sums,
+        // which are reduced in fold order — the same accumulation whether
+        // folds ran on one thread or several.
+        let score_fold = |fold: &ml::cv::Fold| -> (f64, f64, usize) {
             let mut x = ml::Dataset::new(crate::features::plan_feature_count());
             let mut y = Vec::new();
             for &i in &fold.train {
@@ -176,8 +178,11 @@ impl<'a> OnlinePredictor<'a> {
                 &cfg.selection,
                 cfg.log_target,
             ) else {
-                continue;
+                return (0.0, 0.0, 0);
             };
+            let mut plan_err = 0.0;
+            let mut op_err = 0.0;
+            let mut n = 0usize;
             for &i in &fold.test {
                 if actuals[i] <= 0.0 {
                     continue;
@@ -191,6 +196,20 @@ impl<'a> OnlinePredictor<'a> {
                 op_err += relative_error(actuals[i], op_pred);
                 n += 1;
             }
+            (plan_err, op_err, n)
+        };
+        let fold_scores: Vec<(f64, f64, usize)> = if folds.len() > 1 && ml::par::threads() > 1 {
+            ml::par::par_map(&folds, |_, fold| score_fold(fold))
+        } else {
+            folds.iter().map(score_fold).collect()
+        };
+        let mut plan_err = 0.0;
+        let mut op_err = 0.0;
+        let mut n = 0usize;
+        for (pe, oe, fn_) in fold_scores {
+            plan_err += pe;
+            op_err += oe;
+            n += fn_;
         }
         if n == 0 || plan_err >= op_err {
             return None;

@@ -81,38 +81,53 @@ impl OpLevelModel {
     /// unsolvable (degenerate data); operator types absent from the
     /// training data simply get no model.
     pub fn train(queries: &[&ExecutedQuery], config: &OpModelConfig) -> Result<Self, MlError> {
-        // Collect (features, start, run) rows per operator type.
+        // Collect (features, start, run) rows per operator type. Row
+        // extraction is independent per query, so it fans out to worker
+        // threads; the per-type matrices are then filled serially in query
+        // order, giving exactly the rows the serial loop produced.
         let n_types = ALL_OP_TYPES.len();
         let mut xs: Vec<Dataset> = (0..n_types)
             .map(|_| Dataset::new(OP_FEATURE_NAMES.len()))
             .collect();
         let mut starts: Vec<Vec<f64>> = vec![Vec::new(); n_types];
         let mut runs: Vec<Vec<f64>> = vec![Vec::new(); n_types];
-        for q in queries {
+        let rows_of = |q: &ExecutedQuery| -> Vec<(usize, Vec<f64>, f64, f64)> {
             let views = q.views(config.source);
+            let mut rows = Vec::new();
             collect_rows(
                 &q.plan,
                 &views,
                 &q.trace.timings,
                 &mut 0,
                 &mut |op, row, start, run| {
-                    let k = op.index();
                     let mut row = row.to_vec();
                     if !config.include_start_features {
                         row[5] = 0.0; // st1
                         row[7] = 0.0; // st2
                     }
-                    xs[k].push_row(&row);
-                    starts[k].push(start);
-                    runs[k].push(run);
+                    rows.push((op.index(), row, start, run));
                 },
             );
+            rows
+        };
+        let per_query: Vec<Vec<(usize, Vec<f64>, f64, f64)>> =
+            if queries.len() > 1 && ml::par::threads() > 1 {
+                ml::par::par_map(queries, |_, q| rows_of(q))
+            } else {
+                queries.iter().map(|&q| rows_of(q)).collect()
+            };
+        for rows in &per_query {
+            for (k, row, start, run) in rows {
+                xs[*k].push_row(row);
+                starts[*k].push(*start);
+                runs[*k].push(*run);
+            }
         }
-        let mut per_type = Vec::with_capacity(n_types);
-        for k in 0..n_types {
+        // Operator types fit independently; results are merged in type
+        // order so the first error (if any) matches the serial loop's.
+        let fit_type = |k: usize| -> Result<Option<(FeatureModel, FeatureModel)>, MlError> {
             if xs[k].n_rows() < 3 {
-                per_type.push(None);
-                continue;
+                return Ok(None);
             }
             let folds = kfold(
                 xs[k].n_rows(),
@@ -135,7 +150,17 @@ impl OpLevelModel {
                 &config.selection,
                 false,
             )?;
-            per_type.push(Some((start_model, run_model)));
+            Ok(Some((start_model, run_model)))
+        };
+        let fitted: Vec<Result<Option<(FeatureModel, FeatureModel)>, MlError>> =
+            if ml::par::threads() > 1 {
+                ml::par::par_map_n(n_types, &fit_type)
+            } else {
+                (0..n_types).map(fit_type).collect()
+            };
+        let mut per_type = Vec::with_capacity(n_types);
+        for outcome in fitted {
+            per_type.push(outcome?);
         }
         Ok(OpLevelModel {
             per_type,

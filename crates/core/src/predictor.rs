@@ -143,8 +143,15 @@ impl QppPredictor {
         if queries.is_empty() {
             return Err(QppError::NoTrainingData);
         }
-        let plan_level = PlanLevelModel::train(queries, &config.plan)?;
-        let op_level = OpLevelModel::train(queries, &config.op)?;
+        // The plan-level and operator-level models are independent; train
+        // them concurrently. The plan-level result is checked first, so a
+        // double failure reports the same error the serial code did.
+        let (plan_res, op_res) = ml::par::join2(
+            || PlanLevelModel::train(queries, &config.plan),
+            || OpLevelModel::train(queries, &config.op),
+        );
+        let plan_level = plan_res?;
+        let op_level = op_res?;
         let (hybrid, hybrid_trajectory) =
             train_hybrid(queries, op_level.clone(), &config.hybrid)?;
         let ratios: Vec<f64> = queries

@@ -101,11 +101,39 @@ pub struct SubplanIndex {
 impl SubplanIndex {
     /// Builds the index over `(template, plan)` pairs, enumerating every
     /// subtree with at least `min_size` operators.
+    ///
+    /// Hashes and sizes are memoized bottom-up in one post-order pass per
+    /// plan, so indexing a plan of `n` operators costs O(n) hash work
+    /// instead of the O(n²) of re-hashing every subtree from its root.
     pub fn build(plans: &[(u8, &PlanNode)], min_size: usize) -> SubplanIndex {
         let mut idx = SubplanIndex::default();
         for (q, (template, plan)) in plans.iter().enumerate() {
-            let mut cursor = 0usize;
-            index_subtrees(plan, q, *template, min_size, &mut cursor, &mut idx.by_key);
+            let n = plan.node_count();
+            let mut hashes = vec![0u64; n];
+            let mut sizes = vec![0usize; n];
+            hash_and_size(plan, &mut 0, &mut hashes, &mut sizes);
+            for (i, node) in plan.preorder().iter().enumerate() {
+                let size = sizes[i];
+                if size < min_size {
+                    continue;
+                }
+                let key = StructureKey(hashes[i]);
+                let entry = idx.by_key.entry(key).or_insert_with(|| SubplanInfo {
+                    key,
+                    size,
+                    occurrences: Vec::new(),
+                    templates: Vec::new(),
+                    description: describe(node),
+                });
+                entry.occurrences.push(Occurrence {
+                    query: q,
+                    node_idx: i,
+                    size,
+                });
+                if !entry.templates.contains(template) {
+                    entry.templates.push(*template);
+                }
+            }
         }
         idx
     }
@@ -182,38 +210,59 @@ impl SubplanIndex {
     }
 }
 
-fn index_subtrees(
+/// Computes the structure hash and operator count of every subtree in one
+/// post-order pass, writing them into `hashes`/`sizes` at each node's
+/// pre-order position. Must agree exactly with [`hash_node`], which stays
+/// the single-subtree entry point used at predict time.
+fn hash_and_size(
     node: &PlanNode,
-    query: usize,
-    template: u8,
-    min_size: usize,
     cursor: &mut usize,
-    map: &mut HashMap<StructureKey, SubplanInfo>,
-) {
-    let my_idx = *cursor;
+    hashes: &mut [u64],
+    sizes: &mut [usize],
+) -> (u64, usize) {
+    let my = *cursor;
     *cursor += 1;
-    let size = node.node_count();
-    if size >= min_size {
-        let key = structure_key(node);
-        let entry = map.entry(key).or_insert_with(|| SubplanInfo {
-            key,
-            size,
-            occurrences: Vec::new(),
-            templates: Vec::new(),
-            description: describe(node),
-        });
-        entry.occurrences.push(Occurrence {
-            query,
-            node_idx: my_idx,
-            size,
-        });
-        if !entry.templates.contains(&template) {
-            entry.templates.push(template);
+    let mut child_pos = Vec::with_capacity(node.children.len());
+    let mut size = 1usize;
+    for c in &node.children {
+        child_pos.push(*cursor);
+        let (_, s) = hash_and_size(c, cursor, hashes, sizes);
+        size += s;
+    }
+    let mix = |h: u64, v: u64| (h ^ v).wrapping_mul(0x1000_0000_01b3);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    h = mix(h, node.op.index() as u64 + 1);
+    if let OpDetail::Scan { table, .. } = &node.detail {
+        h = mix(h, *table as u64 + 101);
+    }
+    if let OpDetail::Join { kind, .. } = &node.detail {
+        h = mix(h, *kind as u64 + 501);
+    }
+    if node.op == engine::plan::OpType::HashJoin && node.children.len() == 2 {
+        // The Hash wrapper's stripped hash is its only child's hash, which
+        // sits at the very next pre-order position — already memoized.
+        let stripped = |ci: usize| -> u64 {
+            let c = &node.children[ci];
+            if c.op == engine::plan::OpType::Hash && c.children.len() == 1 {
+                hashes[child_pos[ci] + 1]
+            } else {
+                hashes[child_pos[ci]]
+            }
+        };
+        let a = stripped(0);
+        let b = stripped(1);
+        let combined = (a ^ b).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ a.wrapping_add(b)
+            ^ a.min(b).rotate_left(13);
+        h = mix(h, combined);
+    } else {
+        for &cp in &child_pos {
+            h = mix(h, hashes[cp]);
         }
     }
-    for c in &node.children {
-        index_subtrees(c, query, template, min_size, cursor, map);
-    }
+    hashes[my] = h;
+    sizes[my] = size;
+    (h, size)
 }
 
 /// A compact single-line structural description, e.g.
@@ -327,6 +376,24 @@ mod tests {
         let plan = &ps[0].1;
         for (i, n) in plan.preorder().iter().enumerate() {
             assert_eq!(subtree_at(plan, i).op, n.op);
+        }
+    }
+
+    #[test]
+    fn memoized_build_keys_match_structure_key() {
+        // The one-pass memoized hashing must agree with the per-subtree
+        // entry point for every node, including nested hash joins where
+        // the build side carries a Hash wrapper.
+        let ps = plans(&[1, 3, 5, 10, 14], 2);
+        for (_, plan) in &ps {
+            let n = plan.node_count();
+            let mut hashes = vec![0u64; n];
+            let mut sizes = vec![0usize; n];
+            hash_and_size(plan, &mut 0, &mut hashes, &mut sizes);
+            for (i, node) in plan.preorder().iter().enumerate() {
+                assert_eq!(StructureKey(hashes[i]), structure_key(node));
+                assert_eq!(sizes[i], node.node_count());
+            }
         }
     }
 

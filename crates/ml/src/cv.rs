@@ -117,31 +117,62 @@ impl CrossValidation {
     }
 }
 
+/// Minimum `rows × cols` before fold training fans out to worker threads;
+/// below this, per-fold fits are too cheap to amortize thread spawns.
+const PARALLEL_CELLS: usize = 2048;
+
 /// Trains `learner` on each fold's training rows and predicts its test rows;
 /// reports per-fold mean relative error and the out-of-fold predictions.
-pub fn cross_validate<L: Learner>(
+///
+/// Folds are trained in parallel when the problem is large enough; every
+/// fold's fit and predictions depend only on that fold's rows and results
+/// are merged in fold order, so the output (including which error is
+/// reported on failure) is identical to the serial loop.
+pub fn cross_validate<L: Learner + Sync>(
     learner: &L,
     x: &Dataset,
     y: &[f64],
     folds: &[Fold],
 ) -> Result<CrossValidation, MlError> {
     x.check_targets(y)?;
-    let mut fold_errors = Vec::with_capacity(folds.len());
-    let mut predictions = vec![f64::NAN; y.len()];
-    for fold in folds {
+    type FoldOut = Result<(Vec<(usize, f64)>, Option<f64>), MlError>;
+    let run_fold = |fold: &Fold| -> FoldOut {
         let x_train = x.select_rows(&fold.train);
         let y_train: Vec<f64> = fold.train.iter().map(|&i| y[i]).collect();
         let model = learner.fit(&x_train, &y_train)?;
+        let mut preds = Vec::with_capacity(fold.test.len());
         let mut actual = Vec::with_capacity(fold.test.len());
         let mut est = Vec::with_capacity(fold.test.len());
         for &i in &fold.test {
             let p = model.predict(x.row(i));
-            predictions[i] = p;
+            preds.push((i, p));
             actual.push(y[i]);
             est.push(p);
         }
-        if !actual.is_empty() {
-            fold_errors.push(mean_relative_error(&actual, &est));
+        let err = if actual.is_empty() {
+            None
+        } else {
+            Some(mean_relative_error(&actual, &est))
+        };
+        Ok((preds, err))
+    };
+    let parallel = folds.len() > 1
+        && crate::par::threads() > 1
+        && x.n_rows() * x.n_cols().max(1) >= PARALLEL_CELLS;
+    let outcomes: Vec<FoldOut> = if parallel {
+        crate::par::par_map(folds, |_, fold| run_fold(fold))
+    } else {
+        folds.iter().map(run_fold).collect()
+    };
+    let mut fold_errors = Vec::with_capacity(folds.len());
+    let mut predictions = vec![f64::NAN; y.len()];
+    for outcome in outcomes {
+        let (preds, err) = outcome?;
+        for (i, p) in preds {
+            predictions[i] = p;
+        }
+        if let Some(e) = err {
+            fold_errors.push(e);
         }
     }
     Ok(CrossValidation {

@@ -66,7 +66,7 @@ pub fn rank_by_correlation(x: &Dataset, y: &[f64]) -> Vec<usize> {
 ///
 /// Guarantees at least one feature is selected (the top-correlated one)
 /// even if no candidate beats the empty baseline.
-pub fn forward_select<L: Learner>(
+pub fn forward_select<L: Learner + Sync>(
     config: &ForwardSelection,
     learner: &L,
     x: &Dataset,

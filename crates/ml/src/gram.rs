@@ -1,0 +1,246 @@
+//! A process-wide cache of dense SVR kernel (Gram) matrices.
+//!
+//! The SMO solvers repeatedly need the full Gram matrix of the same
+//! standardized design matrix: the start-time and run-time heads of a
+//! sub-plan model train on one shared feature matrix, and forward
+//! selection re-scores identical column subsets across search rounds.
+//! Entries are keyed by a content hash of the (already scaled) dataset
+//! plus the resolved kernel, so the cache never needs explicit
+//! invalidation — different data simply hashes to a different key.
+//! Matrices are computed once (upper triangle, mirrored — the kernel is
+//! symmetric) and shared via `Arc`.
+//!
+//! Eviction is wholesale: when inserting an entry would push the cache
+//! past its capacity, the whole map is cleared first. Training sets here
+//! are small and matrices are transient, so a simple bound beats LRU
+//! bookkeeping.
+
+use crate::dataset::Dataset;
+use crate::par;
+use crate::svr::Kernel;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Total `f64` entries the cache may hold before it clears itself
+/// (64 MiB worth).
+const MAX_CACHED_FLOATS: usize = 8 << 20;
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct GramKey {
+    data_hash: u64,
+    n_rows: usize,
+    n_cols: usize,
+    kernel_kind: u8,
+    gamma_bits: u64,
+}
+
+/// Counters describing cache effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GramCacheStats {
+    /// Lookups served from the cache.
+    pub hits: usize,
+    /// Lookups that had to compute the matrix.
+    pub misses: usize,
+    /// Matrices currently cached.
+    pub entries: usize,
+}
+
+/// A content-addressed cache of Gram matrices; see the module docs.
+pub struct GramCache {
+    /// Map plus the total number of cached floats (for the capacity bound).
+    map: Mutex<(HashMap<GramKey, Arc<Vec<f64>>>, usize)>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl GramCache {
+    /// Creates an empty cache.
+    pub fn new() -> GramCache {
+        GramCache {
+            map: Mutex::new((HashMap::new(), 0)),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// The process-wide cache the SMO solvers share.
+    pub fn global() -> &'static GramCache {
+        static GLOBAL: OnceLock<GramCache> = OnceLock::new();
+        GLOBAL.get_or_init(GramCache::new)
+    }
+
+    /// Returns the row-major `l × l` Gram matrix of `xs` under `kernel`
+    /// with the resolved `gamma`, computing and caching it on a miss.
+    pub fn gram(&self, xs: &Dataset, kernel: Kernel, gamma: f64) -> Arc<Vec<f64>> {
+        let key = GramKey {
+            data_hash: hash_dataset(xs),
+            n_rows: xs.n_rows(),
+            n_cols: xs.n_cols(),
+            kernel_kind: match kernel {
+                Kernel::Linear => 0,
+                Kernel::Rbf { .. } => 1,
+            },
+            gamma_bits: gamma.to_bits(),
+        };
+        {
+            let guard = self
+                .map
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(hit) = guard.0.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(hit);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let m = Arc::new(compute_gram(xs, kernel, gamma));
+        let mut guard = self
+            .map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let (map, floats) = &mut *guard;
+        if *floats + m.len() > MAX_CACHED_FLOATS {
+            map.clear();
+            *floats = 0;
+        }
+        if m.len() <= MAX_CACHED_FLOATS {
+            // A racing thread may have inserted the same key; keeping the
+            // existing entry is fine (identical contents by construction).
+            if map.insert(key, Arc::clone(&m)).is_none() {
+                *floats += m.len();
+            }
+        }
+        m
+    }
+
+    /// Current hit/miss/entry counters.
+    pub fn stats(&self) -> GramCacheStats {
+        let guard = self
+            .map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        GramCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: guard.0.len(),
+        }
+    }
+
+    /// Drops all cached matrices and resets the counters.
+    pub fn clear(&self) {
+        let mut guard = self
+            .map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        guard.0.clear();
+        guard.1 = 0;
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for GramCache {
+    fn default() -> Self {
+        GramCache::new()
+    }
+}
+
+/// FNV-1a over the dataset's shape and raw `f64` bit patterns.
+fn hash_dataset(xs: &Dataset) -> u64 {
+    let mix = |h: u64, v: u64| (h ^ v).wrapping_mul(0x1000_0000_01b3);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    h = mix(h, xs.n_rows() as u64);
+    h = mix(h, xs.n_cols() as u64);
+    for row in xs.rows() {
+        for &v in row {
+            h = mix(h, v.to_bits());
+        }
+    }
+    h
+}
+
+/// Computes the dense Gram matrix directly, evaluating the kernel once per
+/// unordered row pair and mirroring across the diagonal. Rows are computed
+/// in parallel when the matrix is large enough to amortize thread spawns;
+/// each entry's value is independent of the worker count.
+///
+/// Public so tests can compare cached matrices against a fresh computation.
+pub fn compute_gram(xs: &Dataset, kernel: Kernel, gamma: f64) -> Vec<f64> {
+    let l = xs.n_rows();
+    let mut k = vec![0.0f64; l * l];
+    if l >= 64 && par::threads() > 1 {
+        let tri: Vec<Vec<f64>> = par::par_map_n(l, |i| {
+            let ri = xs.row(i);
+            (0..=i).map(|j| kernel.eval(ri, xs.row(j), gamma)).collect()
+        });
+        for (i, row) in tri.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                k[i * l + j] = v;
+                k[j * l + i] = v;
+            }
+        }
+    } else {
+        for i in 0..l {
+            for j in 0..=i {
+                let v = kernel.eval(xs.row(i), xs.row(j), gamma);
+                k[i * l + j] = v;
+                k[j * l + i] = v;
+            }
+        }
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::from_rows((0..8).map(|i| vec![i as f64, (i * i) as f64]).collect())
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit_sharing_the_same_matrix() {
+        let cache = GramCache::new();
+        let xs = toy();
+        let a = cache.gram(&xs, Kernel::Rbf { gamma: 0.5 }, 0.5);
+        let b = cache.gram(&xs, Kernel::Rbf { gamma: 0.5 }, 0.5);
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn different_kernels_get_different_entries() {
+        let cache = GramCache::new();
+        let xs = toy();
+        let a = cache.gram(&xs, Kernel::Linear, 0.0);
+        let b = cache.gram(&xs, Kernel::Rbf { gamma: 0.5 }, 0.5);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn clear_empties_the_cache() {
+        let cache = GramCache::new();
+        let xs = toy();
+        let _ = cache.gram(&xs, Kernel::Linear, 0.0);
+        cache.clear();
+        assert_eq!(cache.stats(), GramCacheStats::default());
+    }
+
+    #[test]
+    fn gram_matrix_is_symmetric_and_correct() {
+        let xs = toy();
+        let l = xs.n_rows();
+        let k = compute_gram(&xs, Kernel::Linear, 0.0);
+        for i in 0..l {
+            for j in 0..l {
+                let want: f64 = xs.row(i).iter().zip(xs.row(j)).map(|(a, b)| a * b).sum();
+                assert_eq!(k[i * l + j].to_bits(), k[j * l + i].to_bits());
+                assert!((k[i * l + j] - want).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -22,16 +22,22 @@
 //!   predictive risk, RMSE, MAE.
 //! - [`dataset`] — a lightweight (rows × columns) design-matrix container
 //!   shared by the learners.
+//! - [`par`] — deterministic fork-join parallelism on `std::thread::scope`
+//!   used across the training pipeline.
+//! - [`gram`] — a content-addressed cache of kernel (Gram) matrices shared
+//!   by the SMO solvers.
 
 #![warn(missing_docs)]
 
 pub mod cv;
 pub mod dataset;
 pub mod feature_selection;
+pub mod gram;
 pub mod linalg;
 pub mod linreg;
 pub mod metrics;
 pub mod nusvr;
+pub mod par;
 pub mod scaler;
 pub mod stats;
 pub mod svr;
@@ -39,6 +45,7 @@ pub mod svr;
 pub use cv::{kfold, stratified_kfold, CrossValidation};
 pub use dataset::Dataset;
 pub use feature_selection::{forward_select, ForwardSelection};
+pub use gram::{GramCache, GramCacheStats};
 pub use linreg::{LinearModel, LinearRegression};
 pub use metrics::{mean_absolute_error, mean_relative_error, predictive_risk, r2_score, rmse};
 pub use scaler::StandardScaler;

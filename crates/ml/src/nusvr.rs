@@ -120,15 +120,9 @@ fn nu_smo_solve(xs: &Dataset, ys: &[f64], p: &NuSvrParams, gamma: f64) -> (Vec<f
     let l = xs.n_rows();
     let c = p.c;
 
-    // Kernel matrix.
-    let mut k = vec![0.0f64; l * l];
-    for i in 0..l {
-        for j in 0..=i {
-            let v = p.kernel.eval(xs.row(i), xs.row(j), gamma);
-            k[i * l + j] = v;
-            k[j * l + i] = v;
-        }
-    }
+    // Kernel matrix, shared through the process-wide Gram cache.
+    let k_shared = crate::gram::GramCache::global().gram(xs, p.kernel, gamma);
+    let k: &[f64] = &k_shared;
     let kij = |i: usize, j: usize| k[i * l + j];
 
     // Initialization (libsvm): fill both blocks with min(C, remaining
@@ -143,17 +137,30 @@ fn nu_smo_solve(xs: &Dataset, ys: &[f64], p: &NuSvrParams, gamma: f64) -> (Vec<f
     }
 
     // Gradient of 0.5 aᵀ Q̄ a + pᵀ a with p = [-y; +y] and
-    // Q̄_tu = s_t s_u K_tu. Initial a is nonzero, so compute fully.
-    let beta_of = |a: &[f64], i: usize| a[i] - a[i + l];
+    // Q̄_tu = s_t s_u K_tu. Initial a is nonzero, so compute fully. The
+    // net coefficients and the per-row dots are hoisted (each dot serves
+    // both blocks), and the O(l²) dot pass fans out for large problems —
+    // each dot's summation order is fixed, so the values are independent
+    // of the worker count.
+    let beta0: Vec<f64> = (0..l).map(|i| a[i] - a[i + l]).collect();
+    let dot_of = |ti: usize| -> f64 {
+        let row = &k[ti * l..(ti + 1) * l];
+        let mut dot = 0.0;
+        for u in 0..l {
+            dot += row[u] * beta0[u];
+        }
+        dot
+    };
+    let dots: Vec<f64> = if l >= 256 && crate::par::threads() > 1 {
+        crate::par::par_map_n(l, &dot_of)
+    } else {
+        (0..l).map(dot_of).collect()
+    };
     let mut g = vec![0.0f64; 2 * l];
     for t in 0..2 * l {
         let ti = t % l;
         let s = if t < l { 1.0 } else { -1.0 };
-        let mut dot = 0.0;
-        for u in 0..l {
-            dot += kij(ti, u) * beta_of(&a, u);
-        }
-        g[t] = s * dot + if t < l { -ys[ti] } else { ys[ti] };
+        g[t] = s * dots[ti] + if t < l { -ys[ti] } else { ys[ti] };
     }
 
     let mut converged = false;
@@ -207,12 +214,19 @@ fn nu_smo_solve(xs: &Dataset, ys: &[f64], p: &NuSvrParams, gamma: f64) -> (Vec<f
         a[i] += d;
         a[j] -= d;
         // Gradient update: delta beta changes by ±d depending on block.
+        // Hoisted row slices and sign-folded steps (±1 factors are exact
+        // in IEEE 754, so the values match the naive expression bit for
+        // bit while halving the kernel lookups).
         let si = if i < l { 1.0 } else { -1.0 };
         let sj = if j < l { 1.0 } else { -1.0 };
-        for t in 0..2 * l {
-            let ti = t % l;
-            let st = if t < l { 1.0 } else { -1.0 };
-            g[t] += st * si * kij(ti, ii) * d - st * sj * kij(ti, jj) * d;
+        let row_i = &k[ii * l..(ii + 1) * l];
+        let row_j = &k[jj * l..(jj + 1) * l];
+        let ci = si * d;
+        let cj = sj * d;
+        for t in 0..l {
+            let dg = ci * row_i[t] - cj * row_j[t];
+            g[t] += dg;
+            g[t + l] -= dg;
         }
     }
 

@@ -1,0 +1,185 @@
+//! Deterministic fork-join parallelism built on `std::thread::scope`.
+//!
+//! No external thread-pool dependency: each fan-out spawns scoped worker
+//! threads, work items are claimed from a shared atomic counter, and
+//! results are always returned **in input order**. Every helper is a pure
+//! fan-out — given the same inputs and closure, the output is identical
+//! regardless of the worker count — which is what lets callers across the
+//! pipeline (collection, cross-validation, hybrid training) uphold the
+//! bit-for-bit determinism contract documented in DESIGN.md.
+//!
+//! The worker count is process-wide: the `QPP_THREADS` environment
+//! variable sets the default (falling back to the machine's available
+//! parallelism), and [`set_threads`] overrides it at runtime — benchmarks
+//! use that to time the serial and parallel paths in one process.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Sentinel meaning "no runtime override active".
+const NO_OVERRIDE: usize = usize::MAX;
+
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(NO_OVERRIDE);
+
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        match std::env::var("QPP_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            Some(n) if n >= 1 => n,
+            _ => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    })
+}
+
+/// Number of worker threads fan-outs may use (always ≥ 1).
+pub fn threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if o == NO_OVERRIDE {
+        default_threads()
+    } else {
+        o.max(1)
+    }
+}
+
+/// Overrides the process-wide worker count; `0` restores the default
+/// (`QPP_THREADS`, else available parallelism). With a count of `1` every
+/// fan-out runs inline on the calling thread — the serial path.
+///
+/// Intended for benchmarks and determinism tests; concurrent callers that
+/// flip this global should serialize among themselves.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(if n == 0 { NO_OVERRIDE } else { n }, Ordering::Relaxed);
+}
+
+/// Order-preserving parallel map over a slice: returns
+/// `items.iter().enumerate().map(|(i, t)| f(i, t))` collected in input
+/// order, computed on up to [`threads`] workers.
+///
+/// Falls back to a plain serial loop when one worker (or one item) makes
+/// spawning pointless. Panics in `f` are propagated to the caller.
+pub fn par_map<'a, T, U, F>(items: &'a [T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &'a T) -> U + Sync,
+{
+    par_map_n(items.len(), |i| f(i, &items[i]))
+}
+
+/// Order-preserving parallel map over the index range `0..n`; see
+/// [`par_map`].
+pub fn par_map_n<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = threads().min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, U)>> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(b) => buckets.push(b),
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+    });
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    for (i, v) in buckets.into_iter().flatten() {
+        slots[i] = Some(v);
+    }
+    slots
+        .into_iter()
+        .map(|o| o.expect("every index is produced exactly once"))
+        .collect()
+}
+
+/// Runs two independent closures, on two threads when more than one worker
+/// is allowed, and returns both results. Panics are propagated.
+pub fn join2<A, B, FA, FB>(fa: FA, fb: FB) -> (A, B)
+where
+    A: Send,
+    B: Send,
+    FA: FnOnce() -> A + Send,
+    FB: FnOnce() -> B + Send,
+{
+    if threads() <= 1 {
+        let a = fa();
+        let b = fb();
+        return (a, b);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(fb);
+        let a = fa();
+        let b = match hb.join() {
+            Ok(b) => b,
+            Err(p) => std::panic::resume_unwind(p),
+        };
+        (a, b)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = par_map(&items, |i, &v| {
+            assert_eq!(i, v);
+            v * 3
+        });
+        assert_eq!(out, (0..257).map(|v| v * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_matches_serial_map() {
+        let items: Vec<f64> = (0..100).map(|i| i as f64 * 0.37).collect();
+        let serial: Vec<f64> = items.iter().map(|v| v.sin() * v.cos()).collect();
+        let parallel = par_map(&items, |_, v| v.sin() * v.cos());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |_, &v| v).is_empty());
+        assert_eq!(par_map(&[7u32], |_, &v| v + 1), vec![8]);
+    }
+
+    #[test]
+    fn join2_returns_both_results() {
+        let (a, b) = join2(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+}

@@ -160,14 +160,10 @@ fn smo_solve(xs: &Dataset, ys: &[f64], p: &SvrParams, gamma: f64) -> (Vec<f64>, 
     let c = p.c;
 
     // Dense kernel matrix; training sets are small (<= a few thousand rows).
-    let mut k = vec![0.0f64; l * l];
-    for i in 0..l {
-        for j in 0..=i {
-            let v = p.kernel.eval(xs.row(i), xs.row(j), gamma);
-            k[i * l + j] = v;
-            k[j * l + i] = v;
-        }
-    }
+    // Fetched from the shared cache: the start/run heads of a sub-plan
+    // model and forward-selection re-scores reuse the same scaled rows.
+    let k_shared = crate::gram::GramCache::global().gram(xs, p.kernel, gamma);
+    let k: &[f64] = &k_shared;
     let kij = |i: usize, j: usize| k[i * l + j];
     let sign = |t: usize| if t < l { 1.0 } else { -1.0 };
     let idx = |t: usize| if t < l { t } else { t - l };
@@ -279,10 +275,18 @@ fn smo_solve(xs: &Dataset, ys: &[f64], p: &SvrParams, gamma: f64) -> (Vec<f64>, 
             converged = true;
             break;
         }
-        for (t, gt) in g.iter_mut().enumerate() {
-            let st = sign(t);
-            let ti = idx(t);
-            *gt += st * si * kij(ti, ii) * da_i + st * sj * kij(ti, jj) * da_j;
+        // Hoisted row slices and sign-folded step sizes: multiplying by
+        // si/sj/st (all ±1) is exact in IEEE 754, so folding them into the
+        // constants keeps every gradient value bit-identical to the naive
+        // per-element expression while halving the kernel lookups.
+        let row_i = &k[ii * l..(ii + 1) * l];
+        let row_j = &k[jj * l..(jj + 1) * l];
+        let ci = si * da_i;
+        let cj = sj * da_j;
+        for t in 0..l {
+            let d = ci * row_i[t] + cj * row_j[t];
+            g[t] += d;
+            g[t + l] -= d;
         }
     }
 

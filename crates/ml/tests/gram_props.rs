@@ -1,0 +1,59 @@
+//! Property tests for the Gram cache: a cached matrix must be exactly the
+//! matrix a direct kernel evaluation produces, and repeated lookups must be
+//! hits that share the same allocation.
+
+use ml::gram::{compute_gram, GramCache};
+use ml::svr::Kernel;
+use ml::Dataset;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cached_gram_equals_direct_kernel_evals(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-10.0f64..10.0, 4), 1..24),
+        gamma in 0.01f64..2.0,
+        linear in any::<bool>(),
+    ) {
+        let ds = Dataset::from_rows(rows);
+        let l = ds.n_rows();
+        let (kernel, g) = if linear {
+            (Kernel::Linear, 0.0)
+        } else {
+            (Kernel::Rbf { gamma }, gamma)
+        };
+
+        let cache = GramCache::global();
+        let first = cache.gram(&ds, kernel, g);
+        let again = cache.gram(&ds, kernel, g);
+        // The second lookup is a hit sharing the same allocation.
+        prop_assert!(Arc::ptr_eq(&first, &again));
+
+        let direct = compute_gram(&ds, kernel, g);
+        prop_assert_eq!(first.len(), l * l);
+        for i in 0..l {
+            for j in 0..l {
+                // Bit-identical to a direct computation, symmetric, and
+                // within tolerance of the textbook kernel formula.
+                prop_assert_eq!(first[i * l + j].to_bits(), direct[i * l + j].to_bits());
+                prop_assert_eq!(first[i * l + j].to_bits(), first[j * l + i].to_bits());
+                let want = if linear {
+                    ds.row(i).iter().zip(ds.row(j)).map(|(a, b)| a * b).sum::<f64>()
+                } else {
+                    let sq: f64 = ds
+                        .row(i)
+                        .iter()
+                        .zip(ds.row(j))
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum();
+                    (-g * sq).exp()
+                };
+                let tol = 1e-9 * want.abs().max(1.0);
+                prop_assert!((first[i * l + j] - want).abs() <= tol);
+            }
+        }
+    }
+}

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Reproducible benchmark run: builds the release harness and measures the
+# end-to-end training pipeline serial vs parallel in one process, writing
+# BENCH_pr2.json (optd-style {name, value, unit} entries) at the repo root.
+#
+# Usage: scripts/bench.sh [OUT_PATH] [--per-template N]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release -p qpp-bench"
+cargo build --release -p qpp-bench
+
+echo "==> perf_trajectory $*"
+./target/release/perf_trajectory "$@"

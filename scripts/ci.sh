@@ -10,7 +10,13 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test -q --test parallel_determinism"
+cargo test -q --test parallel_determinism
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo bench --workspace --no-run"
+cargo bench --workspace --no-run
 
 echo "==> OK"
