@@ -91,6 +91,65 @@ fn bench_prediction(c: &mut Criterion) {
     });
 }
 
+fn bench_compiled_inference(c: &mut Criterion) {
+    use rand::Rng;
+    // A plan-level-sized SVR: linear kernel, forward-selected feature
+    // count, noisy target so nearly all rows stay support vectors.
+    let mut rng = StdRng::seed_from_u64(0x51E9);
+    let rows: Vec<Vec<f64>> = (0..512)
+        .map(|_| (0..3).map(|_| rng.gen_range(-5.0f64..5.0)).collect())
+        .collect();
+    let y: Vec<f64> = rows
+        .iter()
+        .map(|r| 2.0 * r[0] + 3.0 * r[1] - r[2] + rng.gen_range(-2.0..2.0))
+        .collect();
+    let x = ml::Dataset::from_rows(rows);
+    let model = ml::svr::Svr::new(ml::SvrParams {
+        kernel: ml::Kernel::Linear,
+        max_iter: 2_000_000,
+        ..ml::SvrParams::default()
+    })
+    .fit(&x, &y)
+    .expect("SVR fit");
+    let compiled = model.compile();
+    let probes: Vec<Vec<f64>> = (0..256)
+        .map(|_| (0..3).map(|_| rng.gen_range(-6.0f64..6.0)).collect())
+        .collect();
+    c.bench_function("predict/svr_reference_single_row", |b| {
+        b.iter(|| std::hint::black_box(model.predict(&probes[0])))
+    });
+    let mut scratch = ml::PredictScratch::new();
+    c.bench_function("predict/svr_compiled_single_row", |b| {
+        b.iter(|| std::hint::black_box(compiled.predict_into(&probes[0], &mut scratch)))
+    });
+    c.bench_function("predict/svr_compiled_batch_256", |b| {
+        b.iter(|| std::hint::black_box(compiled.predict_batch(&probes)))
+    });
+}
+
+fn bench_hybrid_batch(c: &mut Criterion) {
+    use qpp::hybrid::{train_hybrid, HybridConfig};
+    let ds = small_dataset();
+    let refs: Vec<&ExecutedQuery> = ds.queries.iter().collect();
+    let op = OpLevelModel::train(&refs, &OpModelConfig::default()).unwrap();
+    let cfg = HybridConfig {
+        max_iterations: 6,
+        min_frequency: 3,
+        ..HybridConfig::default()
+    };
+    let (hybrid, _) = train_hybrid(&refs, op, &cfg).unwrap();
+    // Sub-plan-reuse workload: the training queries repeated 8x.
+    let batch: Vec<&ExecutedQuery> = refs.iter().cycle().take(refs.len() * 8).copied().collect();
+    c.bench_function("predict/hybrid_serial_loop_x8", |b| {
+        b.iter(|| {
+            std::hint::black_box(batch.iter().map(|q| hybrid.predict(q)).sum::<f64>())
+        })
+    });
+    c.bench_function("predict/hybrid_batch_x8", |b| {
+        b.iter(|| std::hint::black_box(hybrid.predict_batch(&batch)))
+    });
+}
+
 fn bench_subplan_index(c: &mut Criterion) {
     let ds = small_dataset();
     let plans: Vec<(u8, &engine::PlanNode)> =
@@ -177,7 +236,8 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_planner, bench_simulator, bench_features, bench_training,
-              bench_prediction, bench_subplan_index, bench_ml, bench_collection,
+              bench_prediction, bench_compiled_inference, bench_hybrid_batch,
+              bench_subplan_index, bench_ml, bench_collection,
               bench_hybrid_build
 }
 criterion_main!(benches);

@@ -1,22 +1,42 @@
-//! Serial-vs-parallel performance trajectory for the training pipeline.
+//! Performance trajectory for the pipeline: training (serial vs parallel)
+//! and inference (reference vs compiled vs batched).
 //!
-//! Runs the full offline path — trace collection, 5-fold plan-level CV,
-//! operator-model fit plus hybrid greedy build — once pinned to a single
-//! worker thread and once with the full thread pool, in the same process,
-//! and writes the wall-clock numbers to a machine-readable JSON file
-//! (default `BENCH_pr2.json`). Entries use the `{name, value, unit}`
-//! shape so external tooling can diff runs.
+//! Part 1 runs the full offline path — trace collection, 5-fold plan-level
+//! CV, operator-model fit plus hybrid greedy build — once pinned to a
+//! single worker thread and once with the full thread pool.
+//!
+//! Part 2 measures the prediction paths this PR compiles:
+//!
+//! - single-row SVR throughput, reference `SvrModel::predict` vs the
+//!   compiled flat-layout model (linear kernel, forward-selected-sized
+//!   feature count — the plan-level configuration the paper's models
+//!   actually land on — plus an RBF variant, whose speedup is bounded by
+//!   the irreducible `exp` per support vector);
+//! - hybrid prediction over a sub-plan-reuse workload (the training
+//!   workload repeated `REPEAT`×, as when plan caches and repeated
+//!   template instantiations present the same plans), serial
+//!   `predict` loop vs `predict_batch` with its shared sub-plan memo
+//!   cache.
+//!
+//! Every timed comparison asserts bit-identity between the paths first.
+//! Results go to a machine-readable JSON file (default `BENCH_pr3.json`)
+//! with `{name, value, unit}` entries so external tooling can diff runs.
 //!
 //! Usage: `perf_trajectory [OUT_PATH] [--per-template N]`
 
-use qpp::hybrid::{train_hybrid, HybridConfig};
+use qpp::hybrid::{train_hybrid, HybridConfig, HybridModel};
 use qpp::op_model::{OpLevelModel, OpModelConfig};
 use qpp::plan_model::PlanModelConfig;
 use qpp::ExecutedQuery;
 use qpp_bench::{build_dataset_sized, plan_level_cv};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 const TEMPLATES: &[u8] = &[1, 3, 5, 6, 10, 12, 14];
+
+/// How often each query recurs in the sub-plan-reuse batch workload.
+const REPEAT: usize = 10;
 
 struct Measured {
     collection_secs: f64,
@@ -27,6 +47,14 @@ struct Measured {
 impl Measured {
     fn total(&self) -> f64 {
         self.collection_secs + self.cv_secs + self.hybrid_secs
+    }
+}
+
+fn hybrid_config() -> HybridConfig {
+    HybridConfig {
+        max_iterations: 6,
+        min_frequency: 3,
+        ..HybridConfig::default()
     }
 }
 
@@ -48,12 +76,7 @@ fn measure(threads: usize, per_template: usize) -> Measured {
     let t2 = Instant::now();
     let refs: Vec<&ExecutedQuery> = ds.queries.iter().collect();
     let op = OpLevelModel::train(&refs, &OpModelConfig::default()).expect("op-level training");
-    let cfg = HybridConfig {
-        max_iterations: 6,
-        min_frequency: 3,
-        ..HybridConfig::default()
-    };
-    let (_, records) = train_hybrid(&refs, op, &cfg).expect("hybrid training");
+    let (_, records) = train_hybrid(&refs, op, &hybrid_config()).expect("hybrid training");
     let hybrid_secs = t2.elapsed().as_secs_f64();
     assert!(!records.is_empty(), "hybrid build produced no iterations");
 
@@ -64,13 +87,145 @@ fn measure(threads: usize, per_template: usize) -> Measured {
     }
 }
 
+/// Fits an SVR whose epsilon tube is narrower than the target noise, so
+/// nearly every training row stays a support vector — the prediction cost
+/// profile of a real plan-level fit at full training size.
+fn fit_svr(kernel: ml::Kernel, n_rows: usize, n_features: usize) -> ml::SvrModel {
+    let mut rng = StdRng::seed_from_u64(0x51E9);
+    let rows: Vec<Vec<f64>> = (0..n_rows)
+        .map(|_| (0..n_features).map(|_| rng.gen_range(-5.0..5.0)).collect())
+        .collect();
+    let y: Vec<f64> = rows
+        .iter()
+        .map(|r| {
+            let s: f64 = r
+                .iter()
+                .enumerate()
+                .map(|(j, v)| (j as f64 + 1.0) * v)
+                .sum();
+            s + rng.gen_range(-2.0..2.0)
+        })
+        .collect();
+    let x = ml::Dataset::from_rows(rows);
+    ml::svr::Svr::new(ml::SvrParams {
+        kernel,
+        max_iter: 2_000_000,
+        ..ml::SvrParams::default()
+    })
+    .fit(&x, &y)
+    .expect("SVR fit for the inference bench")
+}
+
+/// Times `reps` passes of `pass` (which processes `rows_per_pass` rows)
+/// and returns rows per second.
+fn rows_per_sec(reps: usize, rows_per_pass: usize, mut pass: impl FnMut() -> f64) -> f64 {
+    let mut acc = 0.0;
+    let t = Instant::now();
+    for _ in 0..reps {
+        acc += pass();
+    }
+    let secs = t.elapsed().as_secs_f64();
+    std::hint::black_box(acc);
+    (reps * rows_per_pass) as f64 / secs.max(1e-9)
+}
+
+struct SvrThroughput {
+    reference: f64,
+    compiled: f64,
+    batch: f64,
+}
+
+/// Single-row and batched SVR throughput, after asserting that the
+/// compiled and batched paths reproduce the reference bits exactly.
+fn svr_throughput(kernel: ml::Kernel, n_sv: usize, n_features: usize, reps: usize) -> SvrThroughput {
+    let model = fit_svr(kernel, n_sv, n_features);
+    let compiled = model.compile();
+    let mut rng = StdRng::seed_from_u64(0xBE9C);
+    let probes: Vec<Vec<f64>> = (0..1024)
+        .map(|_| (0..n_features).map(|_| rng.gen_range(-6.0..6.0)).collect())
+        .collect();
+    let reference_bits: Vec<u64> = probes.iter().map(|r| model.predict(r).to_bits()).collect();
+    let compiled_bits: Vec<u64> = probes
+        .iter()
+        .map(|r| compiled.predict(r).to_bits())
+        .collect();
+    assert_eq!(reference_bits, compiled_bits, "compiled path changed bits");
+    let batch_bits: Vec<u64> = compiled
+        .predict_batch(&probes)
+        .into_iter()
+        .map(f64::to_bits)
+        .collect();
+    assert_eq!(reference_bits, batch_bits, "batched path changed bits");
+
+    let reference = rows_per_sec(reps, probes.len(), || {
+        probes.iter().map(|r| model.predict(r)).sum()
+    });
+    let mut scratch = ml::PredictScratch::new();
+    let compiled_rps = rows_per_sec(reps, probes.len(), || {
+        probes
+            .iter()
+            .map(|r| compiled.predict_into(r, &mut scratch))
+            .sum()
+    });
+    let batch = rows_per_sec(reps, probes.len(), || {
+        compiled.predict_batch(&probes).iter().sum()
+    });
+    SvrThroughput {
+        reference,
+        compiled: compiled_rps,
+        batch,
+    }
+}
+
+struct HybridThroughput {
+    serial: f64,
+    batched: f64,
+}
+
+/// Hybrid prediction throughput over the sub-plan-reuse workload: the
+/// training queries repeated `REPEAT`×, serial loop vs `predict_batch`.
+fn hybrid_throughput(hybrid: &HybridModel, refs: &[&ExecutedQuery]) -> HybridThroughput {
+    let batch: Vec<&ExecutedQuery> = refs
+        .iter()
+        .cycle()
+        .take(refs.len() * REPEAT)
+        .copied()
+        .collect();
+    // Warm the lazily compiled models so neither path pays one-time cost.
+    for q in refs {
+        std::hint::black_box(hybrid.predict(q));
+    }
+    let serial_values: Vec<f64> = batch.iter().map(|q| hybrid.predict(q)).collect();
+    let batched_values = hybrid.predict_batch(&batch);
+    assert_eq!(
+        serial_values
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<u64>>(),
+        batched_values
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<u64>>(),
+        "batched hybrid prediction changed bits"
+    );
+
+    let reps = 5;
+    let serial = rows_per_sec(reps, batch.len(), || {
+        batch.iter().map(|q| hybrid.predict(q)).sum()
+    });
+    let batched = rows_per_sec(reps, batch.len(), || {
+        hybrid.predict_batch(&batch).iter().sum()
+    });
+    HybridThroughput { serial, batched }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let out_path = args
         .get(1)
         .filter(|a| !a.starts_with("--"))
         .cloned()
-        .unwrap_or_else(|| "BENCH_pr2.json".to_string());
+        .unwrap_or_else(|| "BENCH_pr3.json".to_string());
     let per_template = args
         .iter()
         .position(|a| a == "--per-template")
@@ -103,18 +258,47 @@ fn main() {
     );
     ml::par::set_threads(0);
 
-    let speedup = serial.total() / parallel.total().max(1e-9);
-    eprintln!("== end-to-end speedup: {speedup:.2}x ==");
+    let train_speedup = serial.total() / parallel.total().max(1e-9);
+    eprintln!("== end-to-end training speedup: {train_speedup:.2}x ==");
+
+    // ---- Inference throughput (PR 3) ----
+    eprintln!("== inference: single-row SVR, linear kernel, 512 SVs x 3 features ==");
+    let lin = svr_throughput(ml::Kernel::Linear, 512, 3, 200);
+    let lin_speedup = lin.compiled / lin.reference.max(1e-9);
+    eprintln!(
+        "   reference {:.0}/s  compiled {:.0}/s  batch {:.0}/s  speedup {lin_speedup:.2}x",
+        lin.reference, lin.compiled, lin.batch
+    );
+    eprintln!("== inference: single-row SVR, RBF kernel, 512 SVs x 3 features ==");
+    let rbf = svr_throughput(ml::Kernel::Rbf { gamma: 0.5 }, 512, 3, 50);
+    let rbf_speedup = rbf.compiled / rbf.reference.max(1e-9);
+    eprintln!(
+        "   reference {:.0}/s  compiled {:.0}/s  batch {:.0}/s  speedup {rbf_speedup:.2}x",
+        rbf.reference, rbf.compiled, rbf.batch
+    );
+
+    eprintln!("== inference: hybrid over sub-plan-reuse workload (x{REPEAT}) ==");
+    let ds = build_dataset_sized(1.0, TEMPLATES, per_template);
+    let refs: Vec<&ExecutedQuery> = ds.queries.iter().collect();
+    let op = OpLevelModel::train(&refs, &OpModelConfig::default()).expect("op-level training");
+    let (hybrid, _) = train_hybrid(&refs, op, &hybrid_config()).expect("hybrid training");
+    let hy = hybrid_throughput(&hybrid, &refs);
+    let batched_speedup = hy.batched / hy.serial.max(1e-9);
+    eprintln!(
+        "   serial {:.0}/s  batched {:.0}/s  speedup {batched_speedup:.2}x",
+        hy.serial, hy.batched
+    );
 
     let entry = |name: &str, value: f64, unit: &str| {
         serde_json::json!({ "name": name, "value": value, "unit": unit })
     };
     let doc = serde_json::json!({
         "tool": "perf_trajectory",
-        "pr": 2,
+        "pr": 3,
         "threads": threads,
         "per_template": per_template,
         "templates": TEMPLATES,
+        "repeat_factor": REPEAT,
         "benches": [
             entry("collection/serial_secs", serial.collection_secs, "s"),
             entry("collection/parallel_secs", parallel.collection_secs, "s"),
@@ -124,7 +308,17 @@ fn main() {
             entry("hybrid_build/parallel_secs", parallel.hybrid_secs, "s"),
             entry("end_to_end_train/serial_secs", serial.total(), "s"),
             entry("end_to_end_train/parallel_secs", parallel.total(), "s"),
-            entry("end_to_end_train/speedup", speedup, "x"),
+            entry("end_to_end_train/speedup", train_speedup, "x"),
+            entry("predict/reference_single_row", lin.reference, "rows/s"),
+            entry("predict/compiled_single_row", lin.compiled, "rows/s"),
+            entry("predict/compiled_single_row_speedup", lin_speedup, "x"),
+            entry("predict/compiled_batch", lin.batch, "rows/s"),
+            entry("predict/rbf_reference_single_row", rbf.reference, "rows/s"),
+            entry("predict/rbf_compiled_single_row", rbf.compiled, "rows/s"),
+            entry("predict/rbf_compiled_single_row_speedup", rbf_speedup, "x"),
+            entry("predict/hybrid_serial", hy.serial, "queries/s"),
+            entry("predict/hybrid_batched", hy.batched, "queries/s"),
+            entry("predict/batched_speedup", batched_speedup, "x"),
         ],
     });
     let rendered = serde_json::to_string_pretty(&doc).expect("serialize bench report");

@@ -19,7 +19,8 @@ use crate::error::QppError;
 use crate::features::{plan_features, NodeView};
 use crate::op_model::OpLevelModel;
 use crate::plan_model::FeatureModel;
-use crate::subplan::{structure_key, StructureKey, SubplanIndex};
+use crate::pred_cache::{views_hash, PredictionCache, SubplanPredKey};
+use crate::subplan::{structure_key, subtree_hash_sizes, StructureKey, SubplanIndex};
 use engine::plan::PlanNode;
 use ml::cv::kfold;
 use ml::metrics::{mean_relative_error, relative_error};
@@ -180,6 +181,125 @@ impl HybridModel {
         }
     }
 
+    /// A signature of this model's sub-plan model set, used to key the
+    /// prediction memo cache: FNV over the sorted structure keys.
+    ///
+    /// Two models with the same structure-key set share cache entries.
+    /// That is exactly right for the online method, where each refined
+    /// model is the base model plus sub-models drawn from a per-predictor
+    /// cache — within one [`PredictionCache`]'s lifetime a structure key
+    /// always maps to the same trained sub-model, so the key set
+    /// determines the prediction function.
+    pub fn plan_model_signature(&self) -> u64 {
+        let mut keys: Vec<u64> = self.plan_models.keys().map(|k| k.0).collect();
+        keys.sort_unstable();
+        crate::pred_cache::hash_u64s(&keys)
+    }
+
+    /// Predicts a plan's latency through the sub-plan memo cache:
+    /// fragments whose (structure, views) were already predicted by this
+    /// model set are answered from `cache` without re-walking them.
+    ///
+    /// Bit-identical to [`HybridModel::predict_plan`]`.latency` — a hit
+    /// returns exactly the value the skipped recomputation would produce.
+    pub fn predict_plan_memo(
+        &self,
+        plan: &PlanNode,
+        views: &[NodeView],
+        cache: &PredictionCache,
+    ) -> f64 {
+        let (hashes, sizes) = subtree_hash_sizes(plan);
+        let nodes = plan.preorder();
+        let ctx = MemoCtx {
+            nodes: &nodes,
+            views,
+            hashes: &hashes,
+            sizes: &sizes,
+            sig: self.plan_model_signature(),
+            cache,
+        };
+        let (_, run) = self.compose_memo(&ctx, 0);
+        run.max(0.0)
+    }
+
+    /// Predicts a batch of queries in input order, sharing a fresh memo
+    /// cache across the batch so identical sub-plans (repeated templates,
+    /// shared fragments) are predicted once. Bit-identical to a serial
+    /// [`HybridModel::predict`] loop.
+    pub fn predict_batch(&self, queries: &[&ExecutedQuery]) -> Vec<f64> {
+        self.predict_batch_cached(queries, &PredictionCache::default())
+    }
+
+    /// [`HybridModel::predict_batch`] against a caller-owned cache, so
+    /// memoized sub-plan predictions survive across batches. Large batches
+    /// fan out over `ml::par`; results stay bit-identical to the serial
+    /// loop regardless of thread count because every memoized value equals
+    /// its recomputation bit-for-bit.
+    pub fn predict_batch_cached(
+        &self,
+        queries: &[&ExecutedQuery],
+        cache: &PredictionCache,
+    ) -> Vec<f64> {
+        let sig = self.plan_model_signature();
+        let one = |q: &ExecutedQuery| -> f64 {
+            let views = q.views(self.op_model.source());
+            let (hashes, sizes) = subtree_hash_sizes(&q.plan);
+            let nodes = q.plan.preorder();
+            let ctx = MemoCtx {
+                nodes: &nodes,
+                views: &views,
+                hashes: &hashes,
+                sizes: &sizes,
+                sig,
+                cache,
+            };
+            let (_, run) = self.compose_memo(&ctx, 0);
+            run.max(0.0)
+        };
+        if queries.len() > 1 && ml::par::threads() > 1 {
+            ml::par::par_map(queries, |_, q| one(q))
+        } else {
+            queries.iter().map(|q| one(q)).collect()
+        }
+    }
+
+    /// The memoized mirror of `compose`: identical
+    /// floating-point operations in identical order, with each fragment's
+    /// `(start, run)` looked up in / inserted into the memo cache. Node
+    /// identity comes from pre-order index `idx` into the context arrays
+    /// instead of a walk cursor.
+    fn compose_memo(&self, ctx: &MemoCtx<'_>, idx: usize) -> (f64, f64) {
+        let key = SubplanPredKey {
+            model: ctx.sig,
+            structure: ctx.hashes[idx],
+            views: views_hash(&ctx.views[idx..idx + ctx.sizes[idx]]),
+        };
+        if let Some(times) = ctx.cache.get(&key) {
+            return times;
+        }
+        let node = ctx.nodes[idx];
+        let times = if let Some(sm) = self.plan_models.get(&StructureKey(ctx.hashes[idx])) {
+            let slice = &ctx.views[idx..idx + ctx.sizes[idx]];
+            let f = plan_features(node, slice);
+            let start = sm.start.predict(&f).max(0.0);
+            let run = sm.run.predict(&f).max(start);
+            (start, run)
+        } else {
+            let mut child_times = Vec::with_capacity(node.children.len());
+            let mut child_views = Vec::with_capacity(node.children.len());
+            let mut ci = idx + 1;
+            for _ in 0..node.children.len() {
+                child_views.push(&ctx.views[ci]);
+                child_times.push(self.compose_memo(ctx, ci));
+                ci += ctx.sizes[ci];
+            }
+            self.op_model
+                .predict_node(node, &ctx.views[idx], &child_views, &child_times)
+        };
+        ctx.cache.insert(key, times);
+        times
+    }
+
     fn compose(
         &self,
         node: &PlanNode,
@@ -220,6 +340,18 @@ impl HybridModel {
         out[my_idx] = NodePrediction::Operator { times: t };
         t
     }
+}
+
+/// Borrowed state for one memoized plan walk: pre-order node pointers,
+/// aligned views, the per-node structure hashes / subtree sizes from
+/// [`subtree_hash_sizes`], the model-set signature, and the shared cache.
+struct MemoCtx<'a> {
+    nodes: &'a [&'a PlanNode],
+    views: &'a [NodeView],
+    hashes: &'a [u64],
+    sizes: &'a [usize],
+    sig: u64,
+    cache: &'a PredictionCache,
 }
 
 /// One iteration of Algorithm 1, for reporting (Figure 8's series).
@@ -558,6 +690,36 @@ mod tests {
                 assert!(p.is_finite() && p >= 0.0);
             }
         }
+    }
+
+    #[test]
+    fn memoized_prediction_is_bit_identical_and_caches() {
+        let ds = dataset();
+        let refs: Vec<&ExecutedQuery> = ds.queries.iter().collect();
+        let op = OpLevelModel::train(&refs, &OpModelConfig::default()).unwrap();
+        let (hybrid, _) =
+            train_hybrid(&refs, op, &quick_config(PlanOrdering::ErrorBased)).unwrap();
+        let cache = crate::pred_cache::PredictionCache::default();
+        for q in &refs {
+            let views = q.views(hybrid.op_model.source());
+            let plain = hybrid.predict_plan(&q.plan, &views).latency;
+            let memo = hybrid.predict_plan_memo(&q.plan, &views, &cache);
+            assert_eq!(plain.to_bits(), memo.to_bits());
+            // Second walk answers the root from the cache, same bits.
+            let again = hybrid.predict_plan_memo(&q.plan, &views, &cache);
+            assert_eq!(plain.to_bits(), again.to_bits());
+        }
+        let stats = cache.stats();
+        assert!(stats.hits > 0, "repeat walks must hit: {stats:?}");
+
+        // Batch form equals the serial loop bit-for-bit, in order.
+        let serial: Vec<u64> = refs.iter().map(|q| hybrid.predict(q).to_bits()).collect();
+        let batch: Vec<u64> = hybrid
+            .predict_batch(&refs)
+            .into_iter()
+            .map(f64::to_bits)
+            .collect();
+        assert_eq!(serial, batch);
     }
 
     #[test]

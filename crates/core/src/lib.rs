@@ -16,6 +16,9 @@
 //! - [`hybrid`] — Algorithm 1 with the size-/frequency-/error-based plan
 //!   ordering strategies.
 //! - [`online`] — online model building for unforeseen plans (Section 4).
+//! - [`pred_cache`] — bounded memo cache of sub-plan predictions keyed by
+//!   (model signature, structure hash, views hash); backs the batched
+//!   hybrid/online inference paths.
 //! - [`progressive`] — progressive prediction with run-time features (the
 //!   extension sketched in the paper's conclusions).
 //! - [`predictor`] — the user-facing facade.
@@ -31,6 +34,7 @@ pub mod materialize;
 pub mod online;
 pub mod op_model;
 pub mod plan_model;
+pub mod pred_cache;
 pub mod predictor;
 pub mod progressive;
 pub mod subplan;
@@ -44,7 +48,8 @@ pub use hybrid::{train_hybrid, HybridConfig, HybridModel, PlanOrdering};
 pub use materialize::MaterializedModels;
 pub use online::{OnlineConfig, OnlinePredictor};
 pub use op_model::{OpLevelModel, OpModelConfig};
-pub use plan_model::{PlanLevelModel, PlanModelConfig, TargetMetric};
+pub use plan_model::{PlanLevelModel, PlanModelConfig, PredictBuffers, TargetMetric};
+pub use pred_cache::{PredictionCache, PredictionCacheStats, SubplanPredKey};
 pub use predictor::{Method, Prediction, PredictionTier, QppConfig, QppPredictor};
 pub use progressive::{observations_at, predict_progressive, predict_progressive_at};
-pub use subplan::{structure_key, StructureKey, SubplanIndex};
+pub use subplan::{structure_key, subtree_hash_sizes, StructureKey, SubplanIndex};

@@ -11,6 +11,7 @@
 use crate::dataset::ExecutedQuery;
 use crate::features::{FeatureSource, NodeView};
 use crate::hybrid::{train_subplan_model, HybridConfig, HybridModel, SubplanModel};
+use crate::pred_cache::PredictionCache;
 use crate::subplan::{structure_key, StructureKey, SubplanIndex};
 use engine::plan::PlanNode;
 use ml::metrics::relative_error;
@@ -48,6 +49,12 @@ pub struct OnlinePredictor<'a> {
     /// Cache: `None` records a fragment whose model did not beat the
     /// operator-level prediction (so we don't rebuild it).
     cache: HashMap<StructureKey, Option<SubplanModel>>,
+    /// Memo cache of sub-plan predictions shared across queries. Valid for
+    /// the predictor's lifetime: the model cache above pins each structure
+    /// key to one trained sub-model, so a refined model's key set (hashed
+    /// into [`HybridModel::plan_model_signature`]) determines its
+    /// prediction function.
+    pred_cache: PredictionCache,
 }
 
 impl<'a> OnlinePredictor<'a> {
@@ -65,6 +72,7 @@ impl<'a> OnlinePredictor<'a> {
             base,
             config,
             cache: HashMap::new(),
+            pred_cache: PredictionCache::default(),
         }
     }
 
@@ -93,6 +101,14 @@ impl<'a> OnlinePredictor<'a> {
         self.predict(&query.plan, &views)
     }
 
+    /// Predicts a batch of queries in input order, bit-identical to a
+    /// serial [`OnlinePredictor::predict_query`] loop. The walk is serial
+    /// (model building mutates the predictor), but the sub-plan memo cache
+    /// makes repeated fragments across the batch near-free.
+    pub fn predict_batch(&mut self, queries: &[&ExecutedQuery]) -> Vec<f64> {
+        queries.iter().map(|q| self.predict_query(q)).collect()
+    }
+
     fn predict_refined(&mut self, plan: &PlanNode, views: &[NodeView]) -> f64 {
         // Enumerate the incoming plan's sub-plans (with their feature
         // vectors) and build candidate models for those present in the
@@ -112,7 +128,7 @@ impl<'a> OnlinePredictor<'a> {
                 }
             }
         }
-        model.predict_plan(plan, views).latency
+        model.predict_plan_memo(plan, views, &self.pred_cache)
     }
 
     /// Builds (or fetches) the model for a fragment and returns it only if

@@ -184,6 +184,17 @@ impl OpLevelModel {
         self.predict_composed(query).latency()
     }
 
+    /// Predicts a batch of queries in input order, bit-identical to a
+    /// serial [`OpLevelModel::predict`] loop; large batches fan out over
+    /// `ml::par`.
+    pub fn predict_batch(&self, queries: &[&ExecutedQuery]) -> Vec<f64> {
+        if queries.len() >= 64 && ml::par::threads() > 1 {
+            ml::par::par_map(queries, |_, q| self.predict(q))
+        } else {
+            queries.iter().map(|q| self.predict(q)).collect()
+        }
+    }
+
     /// Predicts with per-node detail.
     pub fn predict_composed(&self, query: &ExecutedQuery) -> ComposedPrediction {
         let views = query.views(self.source);

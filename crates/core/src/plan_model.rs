@@ -9,7 +9,12 @@ use crate::dataset::ExecutedQuery;
 use crate::features::{plan_feature_names, plan_features, FeatureSource, NodeView};
 use engine::plan::PlanNode;
 use ml::cv::{stratified_kfold, Fold};
-use ml::{forward_select, Dataset, ForwardSelection, Learner, LearnerKind, MlError, Model, TrainedModel};
+use ml::{
+    forward_select, CompiledModel, Dataset, ForwardSelection, Learner, LearnerKind, MlError, Model,
+    PredictScratch, TrainedModel,
+};
+use std::cell::RefCell;
+use std::sync::OnceLock;
 
 /// Which performance metric a plan-level model predicts.
 ///
@@ -83,6 +88,12 @@ pub struct FeatureModel {
     /// Observed (min, max) of each *selected* feature at training time —
     /// the model's applicability region.
     pub feature_ranges: Vec<(f64, f64)>,
+    /// Lazily compiled form of `model` (flat support-vector layout, fused
+    /// scaling); built on first prediction, bit-identical to the reference
+    /// path, and deliberately not serialized — a deserialized model simply
+    /// recompiles on first use.
+    #[serde(skip)]
+    compiled: OnceLock<CompiledModel>,
 }
 
 impl FeatureModel {
@@ -106,6 +117,7 @@ impl FeatureModel {
             log_target,
             target_range: range(y),
             feature_ranges,
+            compiled: OnceLock::new(),
         })
     }
 
@@ -127,13 +139,54 @@ impl FeatureModel {
             log_target,
             target_range: range(y),
             feature_ranges,
+            compiled: OnceLock::new(),
         })
+    }
+
+    /// The compiled form of the underlying model, built on first use.
+    ///
+    /// Compiled predictions are bit-identical to [`TrainedModel::predict`]
+    /// (see `ml::compiled`), so every caller below routes through this.
+    pub fn compiled(&self) -> &CompiledModel {
+        self.compiled.get_or_init(|| self.model.compile())
     }
 
     /// Predicts from a full feature vector (projects to selected columns).
     pub fn predict(&self, full_features: &[f64]) -> f64 {
-        let row: Vec<f64> = self.selected.iter().map(|&i| full_features[i]).collect();
-        let raw = self.model.predict(&row);
+        PredictBuffers::with_thread_local(|buf| self.predict_into(full_features, buf))
+    }
+
+    /// Allocation-free prediction using caller-owned scratch buffers.
+    ///
+    /// Bit-identical to [`FeatureModel::predict`] (which delegates here
+    /// with thread-local buffers).
+    pub fn predict_into(&self, full_features: &[f64], buf: &mut PredictBuffers) -> f64 {
+        buf.row.clear();
+        buf.row.extend(self.selected.iter().map(|&i| full_features[i]));
+        let raw = self.compiled().predict_into(&buf.row, &mut buf.scratch);
+        self.finish(raw)
+    }
+
+    /// Predicts a batch of full feature vectors in input order,
+    /// bit-identical to a serial [`FeatureModel::predict`] loop.
+    pub fn predict_batch<R: AsRef<[f64]> + Sync>(&self, rows: &[R]) -> Vec<f64> {
+        // Compile once up front so workers never race on the OnceLock.
+        self.compiled();
+        if rows.len() >= 64 && ml::par::threads() > 1 {
+            ml::par::par_map(rows, |_, r| {
+                PredictBuffers::with_thread_local(|buf| self.predict_into(r.as_ref(), buf))
+            })
+        } else {
+            let mut buf = PredictBuffers::default();
+            rows.iter()
+                .map(|r| self.predict_into(r.as_ref(), &mut buf))
+                .collect()
+        }
+    }
+
+    /// Undoes the training-target transform and applies the extrapolation
+    /// clamp — the shared tail of every prediction path.
+    fn finish(&self, raw: f64) -> f64 {
         let value = if self.log_target {
             raw.exp() - 1.0
         } else {
@@ -156,6 +209,31 @@ impl FeatureModel {
                 let span = (hi - lo).max(lo.abs().max(hi.abs()) * 0.1).max(1e-9);
                 v >= lo - margin * span && v <= hi + margin * span
             })
+    }
+}
+
+/// Reusable scratch for [`FeatureModel::predict_into`]: the projected
+/// feature row plus the compiled model's scaling scratch. One instance per
+/// thread makes steady-state prediction allocation-free.
+#[derive(Debug, Default)]
+pub struct PredictBuffers {
+    /// Selected-feature row (projection target).
+    row: Vec<f64>,
+    /// Scaled-row scratch for the compiled model.
+    scratch: PredictScratch,
+}
+
+impl PredictBuffers {
+    /// Runs `f` with this thread's reusable buffers (fresh buffers if the
+    /// thread-local is unavailable, e.g. re-entrant use).
+    pub fn with_thread_local<T>(f: impl FnOnce(&mut PredictBuffers) -> T) -> T {
+        thread_local! {
+            static BUFFERS: RefCell<PredictBuffers> = RefCell::new(PredictBuffers::default());
+        }
+        BUFFERS.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut buf) => f(&mut buf),
+            Err(_) => f(&mut PredictBuffers::default()),
+        })
     }
 }
 
@@ -235,6 +313,31 @@ impl PlanLevelModel {
     pub fn predict_plan(&self, plan: &PlanNode, views: &[NodeView]) -> f64 {
         let f = plan_features(plan, views);
         self.inner.predict(&f).max(0.0)
+    }
+
+    /// Predicts a batch of queries in input order, bit-identical to a
+    /// serial [`PlanLevelModel::predict`] loop. Feature extraction and
+    /// model evaluation both fan out over `ml::par` for large batches.
+    pub fn predict_batch(&self, queries: &[&ExecutedQuery]) -> Vec<f64> {
+        let rows: Vec<Vec<f64>> = if queries.len() >= 64 && ml::par::threads() > 1 {
+            ml::par::par_map(queries, |_, q| {
+                let views = q.views(self.source);
+                plan_features(&q.plan, &views)
+            })
+        } else {
+            queries
+                .iter()
+                .map(|q| {
+                    let views = q.views(self.source);
+                    plan_features(&q.plan, &views)
+                })
+                .collect()
+        };
+        self.inner
+            .predict_batch(&rows)
+            .into_iter()
+            .map(|v| v.max(0.0))
+            .collect()
     }
 
     /// Names of the selected features (diagnostics).

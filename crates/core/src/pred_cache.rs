@@ -1,0 +1,236 @@
+//! A bounded memo cache for sub-plan predictions.
+//!
+//! The hybrid and online methods re-walk plan trees at predict time, and
+//! production workloads (plan caches, optimizer search, repeated template
+//! instantiations) keep presenting the *same sub-plans with the same
+//! optimizer estimates* over and over. Re-running the SVR kernel expansion
+//! for an identical fragment is pure waste: the prediction is a
+//! deterministic function of (model set, sub-plan structure, per-node
+//! views).
+//!
+//! [`PredictionCache`] memoizes exactly that function. Keys combine
+//!
+//! - a **model signature** (FNV over the hybrid model's sub-plan structure
+//!   keys), so caches are never shared across different model variants —
+//!   the online method clones and extends the base model per query;
+//! - the fragment's **structure hash** (the same memoized hash
+//!   [`crate::subplan::SubplanIndex`] uses, exposed through
+//!   [`crate::subplan::subtree_hash_sizes`]);
+//! - a **views content hash** over the bit patterns of every
+//!   [`NodeView`] in the fragment, so two structurally identical fragments
+//!   with different cardinality estimates never collide.
+//!
+//! Determinism: a hit returns bit-identical values to the recomputation it
+//! replaces, so batch predictions remain bit-identical to a cold serial
+//! loop regardless of hit pattern or thread interleaving. Eviction follows
+//! the same policy as `ml::gram::GramCache`: when the entry cap is
+//! reached, the map is cleared wholesale — trivially correct (pure
+//! memoization has nothing to invalidate) and cheap relative to model
+//! evaluation.
+
+use crate::features::NodeView;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Default entry cap; at ~40 bytes per entry this bounds the cache to a
+/// few hundred KiB.
+pub const DEFAULT_PRED_CACHE_CAPACITY: usize = 8192;
+
+/// Cache key for one sub-plan prediction; see the module docs for why all
+/// three components are required.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubplanPredKey {
+    /// Signature of the model set producing the prediction.
+    pub model: u64,
+    /// Structure hash of the sub-plan (agrees with
+    /// [`crate::subplan::structure_key`]).
+    pub structure: u64,
+    /// Content hash over the fragment's [`NodeView`]s.
+    pub views: u64,
+}
+
+/// Hit/miss/eviction counters for diagnostics and benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredictionCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to computation.
+    pub misses: u64,
+    /// Entries dropped by wholesale clears.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+struct Inner {
+    map: HashMap<SubplanPredKey, (f64, f64)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A bounded, thread-safe memo cache of `(start, run)` sub-plan
+/// predictions.
+pub struct PredictionCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl Default for PredictionCache {
+    fn default() -> Self {
+        PredictionCache::new(DEFAULT_PRED_CACHE_CAPACITY)
+    }
+}
+
+impl PredictionCache {
+    /// Creates a cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        PredictionCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// Looks up a memoized `(start, run)` pair.
+    pub fn get(&self, key: &SubplanPredKey) -> Option<(f64, f64)> {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.map.get(key).copied() {
+            Some(v) => {
+                inner.hits += 1;
+                Some(v)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Memoizes a `(start, run)` pair, clearing the cache wholesale first
+    /// if it is at capacity (and the key is not already resident).
+    pub fn insert(&self, key: SubplanPredKey, value: (f64, f64)) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            inner.evictions += inner.map.len() as u64;
+            inner.map.clear();
+        }
+        inner.map.insert(key, value);
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        let n = inner.map.len() as u64;
+        inner.evictions += n;
+        inner.map.clear();
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PredictionCacheStats {
+        let inner = self.inner.lock().unwrap();
+        PredictionCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.map.len(),
+        }
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+/// FNV-1a over the bit patterns of a fragment's views. Bit-level hashing
+/// means two fragments cache-collide only when their estimates are
+/// *exactly* equal — in which case the memoized prediction is exactly the
+/// one recomputation would produce.
+pub fn views_hash(views: &[NodeView]) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut mix = |v: f64| {
+        h = (h ^ v.to_bits()).wrapping_mul(FNV_PRIME);
+    };
+    for v in views {
+        mix(v.rows);
+        mix(v.width);
+        mix(v.pages);
+        mix(v.selectivity);
+        mix(v.startup_cost);
+        mix(v.total_cost);
+    }
+    h
+}
+
+/// FNV-1a over a pre-sorted list of structure-key hashes; used to build
+/// model signatures.
+pub(crate) fn hash_u64s(values: &[u64]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &v in values {
+        h = (h ^ v).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> SubplanPredKey {
+        SubplanPredKey {
+            model: 1,
+            structure: n,
+            views: n.wrapping_mul(31),
+        }
+    }
+
+    #[test]
+    fn get_insert_roundtrip_and_stats() {
+        let cache = PredictionCache::new(16);
+        assert_eq!(cache.get(&key(1)), None);
+        cache.insert(key(1), (1.5, 2.5));
+        assert_eq!(cache.get(&key(1)), Some((1.5, 2.5)));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn capacity_triggers_wholesale_clear() {
+        let cache = PredictionCache::new(4);
+        for i in 0..4 {
+            cache.insert(key(i), (i as f64, i as f64));
+        }
+        assert_eq!(cache.stats().entries, 4);
+        cache.insert(key(99), (9.0, 9.0));
+        let s = cache.stats();
+        assert_eq!(s.entries, 1, "clear then insert");
+        assert_eq!(s.evictions, 4);
+        // Re-inserting a resident key at capacity does not clear.
+        let cache = PredictionCache::new(1);
+        cache.insert(key(7), (1.0, 1.0));
+        cache.insert(key(7), (1.0, 1.0));
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn views_hash_separates_different_estimates() {
+        let mut a = NodeView {
+            rows: 10.0,
+            width: 8.0,
+            pages: 3.0,
+            selectivity: 0.5,
+            startup_cost: 0.0,
+            total_cost: 100.0,
+        };
+        let b = a;
+        assert_eq!(views_hash(&[a]), views_hash(&[b]));
+        a.rows = 11.0;
+        assert_ne!(views_hash(&[a]), views_hash(&[b]));
+        // NaN estimates still hash consistently (bit pattern identity).
+        a.rows = f64::NAN;
+        assert_eq!(views_hash(&[a]), views_hash(&[a]));
+    }
+}

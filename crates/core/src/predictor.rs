@@ -196,6 +196,20 @@ impl QppPredictor {
         }
     }
 
+    /// Predicts a batch of queries with the chosen method, in input order
+    /// and bit-identical to a serial [`QppPredictor::predict`] loop.
+    ///
+    /// Batching amortizes feature extraction, fans out over `ml::par` for
+    /// large batches, and (for the hybrid method) shares a sub-plan memo
+    /// cache across the batch so repeated fragments are predicted once.
+    pub fn predict_batch(&self, queries: &[&ExecutedQuery], method: Method) -> Vec<f64> {
+        match method {
+            Method::PlanLevel => self.plan_level.predict_batch(queries),
+            Method::OperatorLevel => self.op_level.predict_batch(queries),
+            Method::Hybrid(_) => self.hybrid.predict_batch(queries),
+        }
+    }
+
     /// Predicts a query's latency, guaranteed finite and non-negative.
     ///
     /// Walks the degradation chain starting at the requested method:

@@ -265,6 +265,25 @@ fn hash_and_size(
     (h, size)
 }
 
+/// Computes the structure hash and subtree size of *every* node of `plan`
+/// in one memoized post-order pass, indexed by pre-order position (the
+/// same layout `views` and [`crate::features::plan_features`] use).
+///
+/// `hashes[i]` agrees exactly with [`structure_key`] of the node at
+/// pre-order position `i`, and `sizes[i]` is its operator count, so a tree
+/// walk can key a memo cache for any fragment without re-hashing it —
+/// this is what the prediction memo cache
+/// ([`crate::pred_cache::PredictionCache`]) uses to key sub-plan
+/// predictions in O(n) total per plan.
+pub fn subtree_hash_sizes(plan: &PlanNode) -> (Vec<u64>, Vec<usize>) {
+    let n = plan.node_count();
+    let mut hashes = vec![0u64; n];
+    let mut sizes = vec![0usize; n];
+    let mut cursor = 0usize;
+    hash_and_size(plan, &mut cursor, &mut hashes, &mut sizes);
+    (hashes, sizes)
+}
+
 /// A compact single-line structural description, e.g.
 /// `HashJoin(SeqScan[orders], Hash(SeqScan[lineitem]))`.
 pub fn describe(node: &PlanNode) -> String {

@@ -1,0 +1,469 @@
+//! Compiled low-latency inference path.
+//!
+//! Training produces [`crate::TrainedModel`]s whose SVR variant stores
+//! support vectors as a `Vec<Vec<f64>>` — one heap allocation per vector —
+//! and whose prediction path allocates a fresh scaled-row buffer per call.
+//! That layout is fine for training but wasteful at optimizer time, where
+//! the paper's models are evaluated once per candidate plan under latency
+//! pressure.
+//!
+//! [`CompiledModel`] is a post-training compilation of a trained model:
+//!
+//! - support vectors are packed into one contiguous row-major `Vec<f64>`,
+//! - support vectors with a zero dual coefficient are pruned,
+//! - the kernel dispatch is hoisted out of the per-support-vector loop,
+//! - scaling, the kernel expansion, the bias, and the target inverse run in
+//!   a single pass over a caller-provided scratch buffer
+//!   ([`CompiledSvr::predict_into`]), so a steady-state prediction performs
+//!   zero heap allocations.
+//!
+//! Compiled predictions are **bit-identical** to the reference
+//! [`crate::SvrModel::predict`] path: support vectors are already stored in
+//! scaled space, the accumulation visits them in the same order, and the
+//! per-vector kernel arithmetic matches [`crate::Kernel::eval`]'s
+//! left-to-right fold exactly. Pruning a zero coefficient only removes
+//! `acc += ±0.0` terms, which cannot change a running sum (the lone
+//! exception, `-0.0 + +0.0`, is washed out by the target-inverse affine
+//! step before the value escapes). `tests/compiled_props.rs` enforces this
+//! with `f64::to_bits` comparisons across kernels, gammas, and pruned-SV
+//! counts.
+
+use crate::linreg::LinearModel;
+use crate::scaler::{StandardScaler, TargetScaler};
+use crate::svr::{Kernel, SvrModel};
+use crate::{MlError, Model};
+use std::cell::RefCell;
+
+/// Row-count threshold above which [`CompiledSvr::predict_batch`] fans out
+/// over [`crate::par`]; below it the fork-join overhead outweighs the work.
+const PAR_MIN_ROWS: usize = 64;
+
+/// Reusable scratch space for [`CompiledSvr::predict_into`].
+///
+/// Holds the scaled-row buffer so repeated predictions (loops, batches)
+/// allocate nothing after the first call. A scratch can be reused across
+/// models with different feature counts; it simply resizes (retaining
+/// capacity) as needed.
+#[derive(Debug, Clone, Default)]
+pub struct PredictScratch {
+    xr: Vec<f64>,
+}
+
+impl PredictScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` with a thread-local scratch, avoiding both a per-call
+    /// allocation and the need to thread a scratch through caller APIs.
+    /// Falls back to a fresh scratch if the thread-local one is already
+    /// borrowed (re-entrant use).
+    pub fn with_thread_local<T>(f: impl FnOnce(&mut PredictScratch) -> T) -> T {
+        thread_local! {
+            static SCRATCH: RefCell<PredictScratch> = RefCell::new(PredictScratch::new());
+        }
+        SCRATCH.with(|s| match s.try_borrow_mut() {
+            Ok(mut guard) => f(&mut guard),
+            Err(_) => f(&mut PredictScratch::new()),
+        })
+    }
+
+    fn scaled_row(&mut self, n: usize) -> &mut [f64] {
+        self.xr.clear();
+        self.xr.resize(n, 0.0);
+        &mut self.xr
+    }
+}
+
+/// An SVR model compiled for low-latency inference: flat support-vector
+/// storage, zero-coefficient vectors pruned, fused scale → kernel → bias →
+/// target-inverse evaluation.
+#[derive(Debug, Clone)]
+pub struct CompiledSvr {
+    kernel: Kernel,
+    gamma: f64,
+    /// Support vectors, row-major, `coef.len() * n_features` values.
+    sv: Vec<f64>,
+    coef: Vec<f64>,
+    bias: f64,
+    x_scaler: StandardScaler,
+    y_scaler: TargetScaler,
+    n_features: usize,
+}
+
+impl CompiledSvr {
+    /// Compiles a trained [`SvrModel`] (see module docs for the layout).
+    pub fn compile(model: &SvrModel) -> Self {
+        let d = model.n_features;
+        let mut sv = Vec::new();
+        let mut coef = Vec::new();
+        for (row, &c) in model.support_vectors.iter().zip(&model.coefficients) {
+            if c != 0.0 {
+                sv.extend_from_slice(row);
+                coef.push(c);
+            }
+        }
+        CompiledSvr {
+            kernel: model.kernel,
+            gamma: model.gamma,
+            sv,
+            coef,
+            bias: model.bias,
+            x_scaler: model.x_scaler.clone(),
+            y_scaler: model.y_scaler.clone(),
+            n_features: d,
+        }
+    }
+
+    /// Number of input features.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of support vectors retained after pruning.
+    pub fn n_support_vectors(&self) -> usize {
+        self.coef.len()
+    }
+
+    /// Predicts one (unscaled) feature row, reusing `scratch` so the call
+    /// performs no heap allocation once the scratch has warmed up.
+    ///
+    /// The row length is checked with a `debug_assert!` only; use
+    /// [`CompiledSvr::try_predict_into`] for a checked variant.
+    pub fn predict_into(&self, row: &[f64], scratch: &mut PredictScratch) -> f64 {
+        debug_assert_eq!(
+            row.len(),
+            self.n_features,
+            "compiled svr expects {} features, got {}",
+            self.n_features,
+            row.len()
+        );
+        let xr = scratch.scaled_row(self.n_features);
+        self.x_scaler.transform_row_into(row, xr);
+        let d = self.n_features;
+        let mut acc = self.bias;
+        if d == 0 {
+            // Degenerate zero-feature model: every kernel row is empty.
+            for &c in &self.coef {
+                acc += c * self.kernel.eval(&[], &[], self.gamma);
+            }
+            return self.y_scaler.inverse(acc);
+        }
+        // The kernel expansion mirrors `Kernel::eval`'s left-to-right
+        // `sum()` fold term for term, so the accumulated value is
+        // bit-identical to the reference path while the kernel dispatch
+        // stays out of the loop. Common (forward-selected) feature counts
+        // are dispatched to const-generic bodies whose inner loop fully
+        // unrolls — same operations in the same order, minus the per-value
+        // loop control that otherwise dominates at low dimension.
+        acc = match self.kernel {
+            Kernel::Linear => match d {
+                1 => self.expand_linear::<1>(acc, xr),
+                2 => self.expand_linear::<2>(acc, xr),
+                3 => self.expand_linear::<3>(acc, xr),
+                4 => self.expand_linear::<4>(acc, xr),
+                5 => self.expand_linear::<5>(acc, xr),
+                6 => self.expand_linear::<6>(acc, xr),
+                7 => self.expand_linear::<7>(acc, xr),
+                8 => self.expand_linear::<8>(acc, xr),
+                _ => self.expand_linear_dyn(acc, xr),
+            },
+            Kernel::Rbf { .. } => match d {
+                1 => self.expand_rbf::<1>(acc, xr),
+                2 => self.expand_rbf::<2>(acc, xr),
+                3 => self.expand_rbf::<3>(acc, xr),
+                4 => self.expand_rbf::<4>(acc, xr),
+                5 => self.expand_rbf::<5>(acc, xr),
+                6 => self.expand_rbf::<6>(acc, xr),
+                7 => self.expand_rbf::<7>(acc, xr),
+                8 => self.expand_rbf::<8>(acc, xr),
+                _ => self.expand_rbf_dyn(acc, xr),
+            },
+        };
+        self.y_scaler.inverse(acc)
+    }
+
+    /// Linear-kernel expansion with the feature count fixed at compile
+    /// time; the dot loop fully unrolls but keeps `Kernel::eval`'s
+    /// accumulation order, so results are bit-identical.
+    fn expand_linear<const D: usize>(&self, mut acc: f64, xr: &[f64]) -> f64 {
+        let xa: &[f64; D] = xr[..D].try_into().expect("scratch sized to n_features");
+        for (sv, &c) in self.sv.chunks_exact(D).zip(&self.coef) {
+            let sa: &[f64; D] = sv.try_into().expect("chunks_exact yields D values");
+            let mut dot = 0.0;
+            for k in 0..D {
+                dot += sa[k] * xa[k];
+            }
+            acc += c * dot;
+        }
+        acc
+    }
+
+    /// RBF expansion with the feature count fixed at compile time; same
+    /// order-preservation argument as [`CompiledSvr::expand_linear`].
+    fn expand_rbf<const D: usize>(&self, mut acc: f64, xr: &[f64]) -> f64 {
+        let xa: &[f64; D] = xr[..D].try_into().expect("scratch sized to n_features");
+        for (sv, &c) in self.sv.chunks_exact(D).zip(&self.coef) {
+            let sa: &[f64; D] = sv.try_into().expect("chunks_exact yields D values");
+            let mut sq = 0.0;
+            for k in 0..D {
+                let diff = sa[k] - xa[k];
+                sq += diff * diff;
+            }
+            acc += c * (-self.gamma * sq).exp();
+        }
+        acc
+    }
+
+    /// Linear-kernel expansion for feature counts without a specialized
+    /// body.
+    fn expand_linear_dyn(&self, mut acc: f64, xr: &[f64]) -> f64 {
+        for (sv, &c) in self.sv.chunks_exact(self.n_features).zip(&self.coef) {
+            let mut dot = 0.0;
+            for (a, b) in sv.iter().zip(xr.iter()) {
+                dot += a * b;
+            }
+            acc += c * dot;
+        }
+        acc
+    }
+
+    /// RBF expansion for feature counts without a specialized body.
+    fn expand_rbf_dyn(&self, mut acc: f64, xr: &[f64]) -> f64 {
+        for (sv, &c) in self.sv.chunks_exact(self.n_features).zip(&self.coef) {
+            let mut sq = 0.0;
+            for (a, b) in sv.iter().zip(xr.iter()) {
+                let diff = a - b;
+                sq += diff * diff;
+            }
+            acc += c * (-self.gamma * sq).exp();
+        }
+        acc
+    }
+
+    /// Checked variant of [`CompiledSvr::predict_into`]: returns
+    /// [`MlError::ShapeMismatch`] instead of asserting on a wrong-arity row.
+    pub fn try_predict_into(&self, row: &[f64], scratch: &mut PredictScratch) -> Result<f64, MlError> {
+        if row.len() != self.n_features {
+            return Err(MlError::ShapeMismatch {
+                expected: self.n_features,
+                got: row.len(),
+            });
+        }
+        Ok(self.predict_into(row, scratch))
+    }
+
+    /// Predicts one row with a thread-local scratch buffer.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        PredictScratch::with_thread_local(|s| self.predict_into(row, s))
+    }
+
+    /// Predicts a batch of rows, returning predictions in input order.
+    ///
+    /// Scratch buffers are reused across rows, and large batches fan out
+    /// over [`crate::par`] (one thread-local scratch per worker). Results
+    /// are bit-identical to a serial `predict` loop regardless of the
+    /// thread count.
+    pub fn predict_batch<R: AsRef<[f64]> + Sync>(&self, rows: &[R]) -> Vec<f64> {
+        if rows.len() >= PAR_MIN_ROWS && crate::par::threads() > 1 {
+            crate::par::par_map(rows, |_, r| {
+                PredictScratch::with_thread_local(|s| self.predict_into(r.as_ref(), s))
+            })
+        } else {
+            let mut scratch = PredictScratch::new();
+            rows.iter()
+                .map(|r| self.predict_into(r.as_ref(), &mut scratch))
+                .collect()
+        }
+    }
+}
+
+impl Model for CompiledSvr {
+    fn predict(&self, row: &[f64]) -> f64 {
+        CompiledSvr::predict(self, row)
+    }
+
+    fn n_features(&self) -> usize {
+        self.n_features
+    }
+}
+
+/// A trained model compiled for low-latency inference.
+///
+/// Linear models are already a flat weight vector, so they pass through
+/// unchanged; SVR models get the flat/pruned/fused treatment of
+/// [`CompiledSvr`]. Predictions are bit-identical to the source
+/// [`crate::TrainedModel`].
+#[derive(Debug, Clone)]
+pub enum CompiledModel {
+    /// Compiled linear model (identical to its trained form).
+    Linear(LinearModel),
+    /// Compiled SVR model.
+    Svr(CompiledSvr),
+}
+
+impl CompiledModel {
+    /// Predicts one row, reusing `scratch` (zero allocations for the SVR
+    /// variant once the scratch has warmed up).
+    pub fn predict_into(&self, row: &[f64], scratch: &mut PredictScratch) -> f64 {
+        match self {
+            CompiledModel::Linear(m) => m.predict(row),
+            CompiledModel::Svr(m) => m.predict_into(row, scratch),
+        }
+    }
+
+    /// Checked variant of [`CompiledModel::predict_into`].
+    pub fn try_predict_into(
+        &self,
+        row: &[f64],
+        scratch: &mut PredictScratch,
+    ) -> Result<f64, MlError> {
+        match self {
+            CompiledModel::Linear(m) => m.try_predict(row),
+            CompiledModel::Svr(m) => m.try_predict_into(row, scratch),
+        }
+    }
+
+    /// Predicts a batch of rows in input order (see
+    /// [`CompiledSvr::predict_batch`] for the determinism contract).
+    pub fn predict_batch<R: AsRef<[f64]> + Sync>(&self, rows: &[R]) -> Vec<f64> {
+        match self {
+            CompiledModel::Linear(m) => m.predict_batch(rows),
+            CompiledModel::Svr(m) => m.predict_batch(rows),
+        }
+    }
+}
+
+impl Model for CompiledModel {
+    fn predict(&self, row: &[f64]) -> f64 {
+        match self {
+            CompiledModel::Linear(m) => m.predict(row),
+            CompiledModel::Svr(m) => CompiledSvr::predict(m, row),
+        }
+    }
+
+    fn n_features(&self) -> usize {
+        match self {
+            CompiledModel::Linear(m) => m.n_features(),
+            CompiledModel::Svr(m) => m.n_features(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::svr::{Svr, SvrParams};
+    use crate::TrainedModel;
+
+    fn fitted(kernel: Kernel) -> (Dataset, SvrModel) {
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![i as f64, (i % 7) as f64, (i * i % 13) as f64])
+            .collect();
+        let x = Dataset::from_rows(rows);
+        let y: Vec<f64> = x
+            .rows()
+            .map(|r| 2.0 * r[0] + r[1] * r[2] * 0.3 + 5.0)
+            .collect();
+        let m = Svr::new(SvrParams {
+            kernel,
+            ..SvrParams::default()
+        })
+        .fit(&x, &y)
+        .unwrap();
+        (x, m)
+    }
+
+    #[test]
+    fn compiled_matches_reference_bit_for_bit() {
+        for kernel in [Kernel::Linear, Kernel::Rbf { gamma: 0.0 }] {
+            let (x, m) = fitted(kernel);
+            let c = CompiledSvr::compile(&m);
+            let mut scratch = PredictScratch::new();
+            for row in x.rows() {
+                assert_eq!(
+                    m.predict(row).to_bits(),
+                    c.predict_into(row, &mut scratch).to_bits()
+                );
+            }
+            // Probe rows outside the training set too.
+            for probe in [[100.0, 3.5, -2.0], [-7.0, 0.0, 0.25]] {
+                assert_eq!(
+                    m.predict(&probe).to_bits(),
+                    c.predict_into(&probe, &mut scratch).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_coefficient_support_vectors_are_pruned_without_changing_bits() {
+        let (x, mut m) = fitted(Kernel::Rbf { gamma: 0.0 });
+        let before: Vec<u64> = x.rows().map(|r| m.predict(r).to_bits()).collect();
+        // Inject explicit zero-coefficient vectors (fit never produces them,
+        // but deserialized or hand-built models may).
+        let fake = vec![0.5; m.n_features];
+        m.support_vectors.insert(0, fake.clone());
+        m.coefficients.insert(0, 0.0);
+        m.support_vectors.push(fake);
+        m.coefficients.push(-0.0);
+        let c = CompiledSvr::compile(&m);
+        assert_eq!(c.n_support_vectors(), m.n_support_vectors() - 2);
+        let mut scratch = PredictScratch::new();
+        for (row, &bits) in x.rows().zip(&before) {
+            assert_eq!(c.predict_into(row, &mut scratch).to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn batch_matches_loop_and_preserves_order() {
+        let (x, m) = fitted(Kernel::Rbf { gamma: 0.0 });
+        let c = m.compile();
+        let rows: Vec<&[f64]> = x.rows().collect();
+        let batch = c.predict_batch(&rows);
+        assert_eq!(batch.len(), rows.len());
+        for (row, got) in rows.iter().zip(&batch) {
+            assert_eq!(m.predict(row).to_bits(), got.to_bits());
+        }
+    }
+
+    #[test]
+    fn checked_prediction_reports_shape_mismatch() {
+        let (_, m) = fitted(Kernel::Linear);
+        let c = m.compile();
+        let mut scratch = PredictScratch::new();
+        assert!(matches!(
+            c.try_predict_into(&[1.0], &mut scratch),
+            Err(MlError::ShapeMismatch {
+                expected: 3,
+                got: 1
+            })
+        ));
+        assert!(c.try_predict_into(&[1.0, 2.0, 3.0], &mut scratch).is_ok());
+    }
+
+    #[test]
+    fn trained_model_compile_dispatches_both_variants() {
+        let (x, m) = fitted(Kernel::Linear);
+        let tm = TrainedModel::Svr(m);
+        let cm = tm.compile();
+        assert!(matches!(cm, CompiledModel::Svr(_)));
+        let row = x.row(3);
+        assert_eq!(
+            crate::Model::predict(&tm, row).to_bits(),
+            crate::Model::predict(&cm, row).to_bits()
+        );
+
+        let lm = TrainedModel::Linear(LinearModel {
+            intercept: 1.0,
+            weights: vec![2.0, 3.0],
+        });
+        let clm = lm.compile();
+        assert_eq!(
+            crate::Model::predict(&lm, &[4.0, 5.0]).to_bits(),
+            crate::Model::predict(&clm, &[4.0, 5.0]).to_bits()
+        );
+    }
+}

@@ -26,9 +26,13 @@
 //!   used across the training pipeline.
 //! - [`gram`] — a content-addressed cache of kernel (Gram) matrices shared
 //!   by the SMO solvers.
+//! - [`compiled`] — post-training compilation of trained models (flat
+//!   support-vector storage, pruning, allocation-free batch prediction)
+//!   for the low-latency inference path.
 
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod cv;
 pub mod dataset;
 pub mod feature_selection;
@@ -42,6 +46,7 @@ pub mod scaler;
 pub mod stats;
 pub mod svr;
 
+pub use compiled::{CompiledModel, CompiledSvr, PredictScratch};
 pub use cv::{kfold, stratified_kfold, CrossValidation};
 pub use dataset::Dataset;
 pub use feature_selection::{forward_select, ForwardSelection};
@@ -146,6 +151,36 @@ impl Model for TrainedModel {
         match self {
             TrainedModel::Linear(m) => m.n_features(),
             TrainedModel::Svr(m) => m.n_features(),
+        }
+    }
+}
+
+impl TrainedModel {
+    /// Checked prediction: returns [`MlError::ShapeMismatch`] instead of
+    /// panicking when the row has the wrong number of features.
+    pub fn try_predict(&self, row: &[f64]) -> Result<f64, MlError> {
+        match self {
+            TrainedModel::Linear(m) => m.try_predict(row),
+            TrainedModel::Svr(m) => m.try_predict(row),
+        }
+    }
+
+    /// Compiles this model for low-latency inference; predictions from the
+    /// compiled form are bit-identical to this model's (see
+    /// [`compiled`]).
+    pub fn compile(&self) -> CompiledModel {
+        match self {
+            TrainedModel::Linear(m) => CompiledModel::Linear(m.clone()),
+            TrainedModel::Svr(m) => CompiledModel::Svr(m.compile()),
+        }
+    }
+
+    /// Predicts a batch of rows in input order, bit-identical to a serial
+    /// [`Model::predict`] loop; large batches fan out over [`par`].
+    pub fn predict_batch<R: AsRef<[f64]> + Sync>(&self, rows: &[R]) -> Vec<f64> {
+        match self {
+            TrainedModel::Linear(m) => m.predict_batch(rows),
+            TrainedModel::Svr(m) => m.predict_batch(rows),
         }
     }
 }

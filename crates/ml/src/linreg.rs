@@ -116,8 +116,11 @@ pub struct LinearModel {
 
 impl LinearModel {
     /// Predicts the target for one feature row.
+    ///
+    /// The row length is only checked with a `debug_assert!`; prediction is
+    /// a hot path, and the checked variant is [`LinearModel::try_predict`].
     pub fn predict(&self, row: &[f64]) -> f64 {
-        assert_eq!(
+        debug_assert_eq!(
             row.len(),
             self.weights.len(),
             "linear model expects {} features, got {}",
@@ -125,6 +128,28 @@ impl LinearModel {
             row.len()
         );
         self.intercept + dot(&self.weights, row)
+    }
+
+    /// Checked prediction: returns [`MlError::ShapeMismatch`] instead of
+    /// panicking when the row has the wrong number of features.
+    pub fn try_predict(&self, row: &[f64]) -> Result<f64, MlError> {
+        if row.len() != self.weights.len() {
+            return Err(MlError::ShapeMismatch {
+                expected: self.weights.len(),
+                got: row.len(),
+            });
+        }
+        Ok(self.predict(row))
+    }
+
+    /// Predicts a batch of rows in input order, bit-identical to a serial
+    /// `predict` loop; large batches fan out over [`crate::par`].
+    pub fn predict_batch<R: AsRef<[f64]> + Sync>(&self, rows: &[R]) -> Vec<f64> {
+        if rows.len() >= 64 && crate::par::threads() > 1 {
+            crate::par::par_map(rows, |_, r| self.predict(r.as_ref()))
+        } else {
+            rows.iter().map(|r| self.predict(r.as_ref())).collect()
+        }
     }
 
     /// Number of input features.

@@ -57,11 +57,14 @@ impl StandardScaler {
 
     /// Standardizes one row into the provided buffer.
     ///
-    /// # Panics
-    /// Panics if lengths disagree with the fitted column count.
+    /// This sits on the prediction hot path (both the reference and the
+    /// compiled inference paths call it per row), so the length contract —
+    /// `row` and `out` must match the fitted column count — is checked
+    /// with `debug_assert!` only. Callers are expected to size buffers via
+    /// [`StandardScaler::n_cols`].
     pub fn transform_row_into(&self, row: &[f64], out: &mut [f64]) {
-        assert_eq!(row.len(), self.means.len(), "scaler column mismatch");
-        assert_eq!(out.len(), self.means.len(), "scaler buffer mismatch");
+        debug_assert_eq!(row.len(), self.means.len(), "scaler column mismatch");
+        debug_assert_eq!(out.len(), self.means.len(), "scaler buffer mismatch");
         for j in 0..row.len() {
             out[j] = (row[j] - self.means[j]) / self.stds[j];
         }

@@ -344,8 +344,11 @@ pub struct SvrModel {
 
 impl SvrModel {
     /// Predicts the target for one (unscaled) feature row.
+    ///
+    /// The row length is only checked with a `debug_assert!`; prediction is
+    /// a hot path, and the checked variant is [`SvrModel::try_predict`].
     pub fn predict(&self, row: &[f64]) -> f64 {
-        assert_eq!(
+        debug_assert_eq!(
             row.len(),
             self.n_features,
             "svr model expects {} features, got {}",
@@ -358,6 +361,32 @@ impl SvrModel {
             acc += coef * self.kernel.eval(sv, &xr, self.gamma);
         }
         self.y_scaler.inverse(acc)
+    }
+
+    /// Checked prediction: returns [`MlError::ShapeMismatch`] instead of
+    /// panicking when the row has the wrong number of features.
+    pub fn try_predict(&self, row: &[f64]) -> Result<f64, MlError> {
+        if row.len() != self.n_features {
+            return Err(MlError::ShapeMismatch {
+                expected: self.n_features,
+                got: row.len(),
+            });
+        }
+        Ok(self.predict(row))
+    }
+
+    /// Compiles this model for low-latency inference (flat support-vector
+    /// storage, zero-coefficient pruning, allocation-free prediction); see
+    /// [`crate::compiled`]. Predictions are bit-identical.
+    pub fn compile(&self) -> crate::compiled::CompiledSvr {
+        crate::compiled::CompiledSvr::compile(self)
+    }
+
+    /// Predicts a batch of rows in input order, bit-identical to a serial
+    /// `predict` loop. Compiles once and amortizes scaling buffers across
+    /// the batch; large batches fan out over [`crate::par`].
+    pub fn predict_batch<R: AsRef<[f64]> + Sync>(&self, rows: &[R]) -> Vec<f64> {
+        self.compile().predict_batch(rows)
     }
 
     /// Number of input features.

@@ -1,0 +1,95 @@
+//! Property tests for the compiled inference path: for any fitted SVR —
+//! across kernels, gamma, dimensionality (specialized and dynamic kernel
+//! expansions), and support-vector counts — the compiled model must agree
+//! with the reference model *bit for bit*, on training rows and on probe
+//! rows far outside the training region, one row at a time and in batches.
+
+use ml::svr::Kernel;
+use ml::{Dataset, Model, MlError, Svr, SvrParams, TrainedModel};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn compiled_is_bit_identical_to_reference(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-10.0f64..10.0, 1..10), 6..24),
+        gamma in 0.01f64..2.0,
+        linear in any::<bool>(),
+        probe_scale in 1.0f64..50.0,
+    ) {
+        let kernel = if linear { Kernel::Linear } else { Kernel::Rbf { gamma } };
+        // A mildly nonlinear target so the fit keeps plenty of SVs.
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| {
+                let s: f64 = r.iter().sum();
+                2.0 * r[0] + 0.1 * s * s + 5.0
+            })
+            .collect();
+        let x = Dataset::from_rows(rows.clone());
+        let model = match Svr::new(SvrParams {
+            kernel,
+            max_iter: 50_000,
+            ..SvrParams::default()
+        })
+        .fit(&x, &y)
+        {
+            Ok(m) => m,
+            // Non-convergence on an adversarial draw is not this test's
+            // concern; the learner-level fallback covers it.
+            Err(MlError::DidNotConverge { .. }) => return Ok(()),
+            Err(e) => panic!("fit failed: {e}"),
+        };
+        let compiled = model.compile();
+        prop_assert!(compiled.n_support_vectors() <= rows.len());
+
+        // Training rows plus probes well outside the training region
+        // (extrapolation must not change the bit-identity contract).
+        let mut probes = rows.clone();
+        probes.push(vec![probe_scale; x.n_cols()]);
+        probes.push(vec![-probe_scale; x.n_cols()]);
+        probes.push(vec![0.0; x.n_cols()]);
+        for row in &probes {
+            prop_assert_eq!(
+                model.predict(row).to_bits(),
+                compiled.predict(row).to_bits()
+            );
+        }
+
+        // Batch output equals the serial loop, in input order, through
+        // both the reference-model entry point and the compiled one.
+        let loop_bits: Vec<u64> =
+            probes.iter().map(|r| model.predict(r).to_bits()).collect();
+        let batch_bits: Vec<u64> = model
+            .predict_batch(&probes)
+            .into_iter()
+            .map(f64::to_bits)
+            .collect();
+        prop_assert_eq!(&loop_bits, &batch_bits);
+        let compiled_batch_bits: Vec<u64> = compiled
+            .predict_batch(&probes)
+            .into_iter()
+            .map(f64::to_bits)
+            .collect();
+        prop_assert_eq!(&loop_bits, &compiled_batch_bits);
+
+        // The TrainedModel wrapper dispatches to the same code.
+        let wrapped = TrainedModel::Svr(model);
+        let wrapped_compiled = wrapped.compile();
+        for row in &probes {
+            prop_assert_eq!(
+                wrapped.predict(row).to_bits(),
+                wrapped_compiled.predict(row).to_bits()
+            );
+        }
+
+        // Checked prediction rejects wrong arity instead of panicking.
+        let bad = vec![0.0; x.n_cols() + 1];
+        prop_assert_eq!(
+            wrapped.try_predict(&bad),
+            Err(MlError::ShapeMismatch { expected: x.n_cols(), got: x.n_cols() + 1 })
+        );
+    }
+}

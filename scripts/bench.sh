@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Reproducible benchmark run: builds the release harness and measures the
-# end-to-end training pipeline serial vs parallel in one process, writing
-# BENCH_pr2.json (optd-style {name, value, unit} entries) at the repo root.
+# training pipeline (serial vs parallel) and the inference paths (reference
+# vs compiled vs batched, with bit-identity asserted in-harness), writing
+# BENCH_pr3.json (optd-style {name, value, unit} entries) at the repo root.
 #
 # Usage: scripts/bench.sh [OUT_PATH] [--per-template N]
 set -euo pipefail

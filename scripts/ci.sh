@@ -13,6 +13,9 @@ cargo test -q
 echo "==> cargo test -q --test parallel_determinism"
 cargo test -q --test parallel_determinism
 
+echo "==> cargo test -q --test batch_determinism"
+cargo test -q --test batch_determinism
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
