@@ -7,7 +7,7 @@
 //! building datasets, exactly like the paper's setup.
 
 use crate::features::{node_views, plan_features, FeatureSource, NodeView};
-use engine::faults::{ExecError, FaultPlan};
+use engine::faults::{DriftPlan, ExecError, FaultPlan};
 use engine::plan::PlanNode;
 use engine::recost::{recost_truth, TruthCosts};
 use engine::sim::{Simulator, Trace};
@@ -204,6 +204,35 @@ impl QueryDataset {
         faults: &FaultPlan,
         cfg: &CollectionConfig,
     ) -> (QueryDataset, CollectionReport) {
+        QueryDataset::execute_drifted(
+            catalog,
+            workload,
+            simulator,
+            seed,
+            time_limit_secs,
+            faults,
+            cfg,
+            &DriftPlan::none(),
+        )
+    }
+
+    /// [`QueryDataset::execute_with_faults`] under workload drift: queries
+    /// are executed in workload order through `drift`, which can ramp up
+    /// observed latencies (data growth) or skew the logged optimizer
+    /// estimates away from the truth annotations (selectivity shift) as
+    /// the stream progresses. With [`DriftPlan::none`] this is exactly
+    /// `execute_with_faults`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_drifted(
+        catalog: &Catalog,
+        workload: &Workload,
+        simulator: &Simulator,
+        seed: u64,
+        time_limit_secs: f64,
+        faults: &FaultPlan,
+        cfg: &CollectionConfig,
+        drift: &DriftPlan,
+    ) -> (QueryDataset, CollectionReport) {
         let planner = Planner::new(catalog);
         let work_mem = simulator.config().work_mem;
         let mut queries = Vec::with_capacity(workload.len());
@@ -233,7 +262,8 @@ impl QueryDataset {
                 if attempt > 0 {
                     retried += 1;
                 }
-                match simulator.try_execute(&plan, catalog.sf, exec_seed, faults) {
+                match simulator.try_execute_drifted(&plan, catalog.sf, exec_seed, faults, drift, i)
+                {
                     Ok(trace) => {
                         outcome = Some((trace, exec_seed));
                         break;
@@ -262,6 +292,11 @@ impl QueryDataset {
             if faults.decide(exec_seed).corrupt_estimates {
                 faults.corrupt_estimates(&mut plan, exec_seed);
             }
+            // Selectivity-shift drift skews the *logged* estimates by the
+            // query's position in the stream — the optimizer's statistics
+            // going stale — while the truth annotations (and thus the
+            // truth costs below) stay faithful to what actually ran.
+            drift.shift_estimates(&mut plan, i);
             let truth_costs = recost_truth(&plan, work_mem);
             QueryAttemptResult {
                 retried,
@@ -633,6 +668,77 @@ mod tests {
             for l in ds.latencies() {
                 assert!(l <= max_base * 10.0);
             }
+        }
+    }
+
+    #[test]
+    fn data_growth_drift_inflates_latencies_only() {
+        let catalog = Catalog::new(0.1, 1);
+        let workload = Workload::generate(&[1, 3, 6], 4, 0.1, 7);
+        let sim = Simulator::new();
+        let baseline = QueryDataset::execute(&catalog, &workload, &sim, 11, f64::INFINITY);
+        let drift = DriftPlan {
+            kind: engine::DriftKind::DataGrowth,
+            onset: 0,
+            ramp: 0,
+            magnitude: 2.0,
+            seed: 1,
+        };
+        let (drifted, report) = QueryDataset::execute_drifted(
+            &catalog,
+            &workload,
+            &sim,
+            11,
+            f64::INFINITY,
+            &FaultPlan::none(),
+            &CollectionConfig::trusting(),
+            &drift,
+        );
+        assert!(report.reconciles());
+        assert_eq!(drifted.len(), baseline.len());
+        for (a, b) in drifted.queries.iter().zip(&baseline.queries) {
+            // Observed latency doubles; the logged estimates stay stale.
+            assert!((a.latency() - 2.0 * b.latency()).abs() < 1e-9);
+            assert_eq!(
+                plan_features(&a.plan, &a.views(FeatureSource::Estimated)),
+                plan_features(&b.plan, &b.views(FeatureSource::Estimated))
+            );
+        }
+    }
+
+    #[test]
+    fn selectivity_shift_drift_skews_estimates_only() {
+        let catalog = Catalog::new(0.1, 1);
+        let workload = Workload::generate(&[1, 3, 6], 4, 0.1, 7);
+        let sim = Simulator::new();
+        let baseline = QueryDataset::execute(&catalog, &workload, &sim, 11, f64::INFINITY);
+        let drift = DriftPlan {
+            kind: engine::DriftKind::SelectivityShift,
+            onset: 0,
+            ramp: 0,
+            magnitude: 3.0,
+            seed: 1,
+        };
+        let (drifted, report) = QueryDataset::execute_drifted(
+            &catalog,
+            &workload,
+            &sim,
+            11,
+            f64::INFINITY,
+            &FaultPlan::none(),
+            &CollectionConfig::trusting(),
+            &drift,
+        );
+        assert!(report.reconciles());
+        assert_eq!(drifted.len(), baseline.len());
+        for (a, b) in drifted.queries.iter().zip(&baseline.queries) {
+            // Latencies are untouched; the logged row estimates inflate.
+            assert_eq!(a.latency(), b.latency());
+            for (da, db) in a.plan.preorder().iter().zip(b.plan.preorder()) {
+                assert!(da.est.rows > db.est.rows, "estimates did not shift");
+            }
+            // Truth costs remain faithful to what actually ran.
+            assert_eq!(a.truth_costs.costs, b.truth_costs.costs);
         }
     }
 }

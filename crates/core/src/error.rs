@@ -18,6 +18,15 @@ pub enum QppError {
     Exec(ExecError),
     /// No usable training data survived collection.
     NoTrainingData,
+    /// A materialized model snapshot failed validation at load time
+    /// (corrupted file, checksum mismatch, unsupported format version,
+    /// non-finite weights, or mismatched feature arity). The message
+    /// names the failed gate.
+    InvalidSnapshot(String),
+    /// A model-registry file-system operation failed (the message carries
+    /// the rendered `std::io::Error`, which is neither `Clone` nor
+    /// `PartialEq` and so cannot be stored directly).
+    Io(String),
     /// An internal invariant was violated (the message names it).
     Internal(&'static str),
 }
@@ -28,6 +37,10 @@ impl std::fmt::Display for QppError {
             QppError::Ml(e) => write!(f, "model training failed: {e}"),
             QppError::Exec(e) => write!(f, "execution failed: {e}"),
             QppError::NoTrainingData => write!(f, "no usable training data"),
+            QppError::InvalidSnapshot(reason) => {
+                write!(f, "invalid model snapshot: {reason}")
+            }
+            QppError::Io(msg) => write!(f, "registry I/O failed: {msg}"),
             QppError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }
@@ -69,5 +82,8 @@ mod tests {
         assert!(exec.to_string().contains("aborted"));
         assert!(exec.source().is_some());
         assert!(QppError::NoTrainingData.source().is_none());
+        let snap = QppError::InvalidSnapshot("checksum mismatch".to_string());
+        assert!(snap.to_string().contains("checksum mismatch"));
+        assert!(snap.source().is_none());
     }
 }

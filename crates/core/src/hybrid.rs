@@ -181,19 +181,33 @@ impl HybridModel {
         }
     }
 
-    /// A signature of this model's sub-plan model set, used to key the
-    /// prediction memo cache: FNV over the sorted structure keys.
+    /// A *content* signature of this model set, used to key the
+    /// prediction memo cache: FNV over the operator-model fingerprint and
+    /// the sorted (structure key, sub-model fingerprint) pairs.
     ///
-    /// Two models with the same structure-key set share cache entries.
-    /// That is exactly right for the online method, where each refined
+    /// Two models share cache entries only when their trained content
+    /// matches. For the online method this changes nothing — each refined
     /// model is the base model plus sub-models drawn from a per-predictor
-    /// cache — within one [`PredictionCache`]'s lifetime a structure key
-    /// always maps to the same trained sub-model, so the key set
-    /// determines the prediction function.
+    /// cache, so within one [`PredictionCache`]'s lifetime identical key
+    /// sets imply identical content. What it adds is safety across *model
+    /// swaps*: a registry that hot-swaps a retrained model set (same plan
+    /// structures, new weights) gets a different signature, so stale memo
+    /// entries from the replaced set can never answer for the new one.
     pub fn plan_model_signature(&self) -> u64 {
-        let mut keys: Vec<u64> = self.plan_models.keys().map(|k| k.0).collect();
-        keys.sort_unstable();
-        crate::pred_cache::hash_u64s(&keys)
+        let mut keyed: Vec<(u64, u64, u64)> = self
+            .plan_models
+            .iter()
+            .map(|(k, m)| (k.0, m.start.fingerprint(), m.run.fingerprint()))
+            .collect();
+        keyed.sort_unstable();
+        let mut h: Vec<u64> = Vec::with_capacity(1 + 3 * keyed.len());
+        h.push(self.op_model.fingerprint());
+        for (k, s, r) in keyed {
+            h.push(k);
+            h.push(s);
+            h.push(r);
+        }
+        crate::pred_cache::hash_u64s(&h)
     }
 
     /// Predicts a plan's latency through the sub-plan memo cache:

@@ -22,6 +22,11 @@
 //! - [`progressive`] — progressive prediction with run-time features (the
 //!   extension sketched in the paper's conclusions).
 //! - [`predictor`] — the user-facing facade.
+//! - [`monitor`] — the feedback loop: streaming residual statistics over
+//!   `(prediction, observed latency)` pairs and a CUSUM drift detector
+//!   driving the Healthy → Suspect → Quarantined state machine.
+//! - [`registry`] — versioned, checksummed model snapshots with validated
+//!   hot swap, shadow retraining, and one-step rollback.
 //! - [`error`] — the unified [`QppError`] across execution and learning.
 
 #![warn(missing_docs)]
@@ -31,12 +36,14 @@ pub mod error;
 pub mod features;
 pub mod hybrid;
 pub mod materialize;
+pub mod monitor;
 pub mod online;
 pub mod op_model;
 pub mod plan_model;
 pub mod pred_cache;
 pub mod predictor;
 pub mod progressive;
+pub mod registry;
 pub mod subplan;
 
 pub use dataset::{
@@ -46,10 +53,14 @@ pub use error::QppError;
 pub use features::{plan_features, FeatureSource, NodeView};
 pub use hybrid::{train_hybrid, HybridConfig, HybridModel, PlanOrdering};
 pub use materialize::MaterializedModels;
+pub use monitor::{DriftMonitor, ModelHealth, MonitorConfig, TierState};
 pub use online::{OnlineConfig, OnlinePredictor};
 pub use op_model::{OpLevelModel, OpModelConfig};
 pub use plan_model::{PlanLevelModel, PlanModelConfig, PredictBuffers, TargetMetric};
 pub use pred_cache::{PredictionCache, PredictionCacheStats, SubplanPredKey};
 pub use predictor::{Method, Prediction, PredictionTier, QppConfig, QppPredictor};
 pub use progressive::{observations_at, predict_progressive, predict_progressive_at};
+pub use registry::{
+    decode_snapshot, encode_snapshot, ModelRegistry, PromotionReport, RetrainConfig,
+};
 pub use subplan::{structure_key, subtree_hash_sizes, StructureKey, SubplanIndex};

@@ -4,12 +4,24 @@
 //! for future predictions. This module serializes a trained model set to
 //! JSON and reloads it without retraining — the training logs are not
 //! needed at prediction time, only the materialized models.
+//!
+//! Loading validates before deserializing into the serving path: a
+//! snapshot with non-finite weights or mismatched feature arity is
+//! rejected with [`QppError::InvalidSnapshot`] instead of silently
+//! producing NaN predictions later. The versioned, checksummed on-disk
+//! envelope around this JSON lives in [`crate::registry`].
 
+use crate::error::QppError;
 use crate::hybrid::{HybridModel, SubplanModel};
 use crate::op_model::OpLevelModel;
 use crate::plan_model::PlanLevelModel;
+use crate::predictor::QppPredictor;
 use crate::subplan::StructureKey;
 use serde::{Deserialize, Serialize};
+
+fn nan_default() -> f64 {
+    f64::NAN
+}
 
 /// A serializable snapshot of all trained models.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -21,10 +33,23 @@ pub struct MaterializedModels {
     /// Hybrid sub-plan models as (structure key, model) pairs (JSON maps
     /// require string keys; a pair list avoids lossy conversions).
     pub hybrid_plan_models: Vec<(u64, SubplanModel)>,
+    /// Median observed seconds per optimizer cost unit at training time —
+    /// the cost-scaling fallback's calibration. NaN when unknown (older
+    /// snapshots, or no training query had a usable cost estimate).
+    #[serde(default = "nan_default")]
+    pub secs_per_cost: f64,
+    /// Median training latency — the last-resort prior. 0.0 when unknown
+    /// (older snapshots).
+    #[serde(default)]
+    pub prior_latency: f64,
 }
 
 impl MaterializedModels {
-    /// Snapshots trained models.
+    /// Snapshots trained models. The fallback calibration
+    /// ([`MaterializedModels::secs_per_cost`] /
+    /// [`MaterializedModels::prior_latency`]) is left unknown; prefer
+    /// [`MaterializedModels::from_predictor`] when a full predictor is at
+    /// hand.
     pub fn new(
         plan_level: &PlanLevelModel,
         op_level: &OpLevelModel,
@@ -40,7 +65,18 @@ impl MaterializedModels {
             plan_level: plan_level.clone(),
             op_level: op_level.clone(),
             hybrid_plan_models: pairs,
+            secs_per_cost: f64::NAN,
+            prior_latency: 0.0,
         }
+    }
+
+    /// Snapshots a trained predictor, including the analytical-fallback
+    /// calibration that [`MaterializedModels::new`] cannot capture.
+    pub fn from_predictor(qpp: &QppPredictor) -> MaterializedModels {
+        let mut mat = MaterializedModels::new(&qpp.plan_level, &qpp.op_level, &qpp.hybrid);
+        mat.secs_per_cost = qpp.secs_per_cost();
+        mat.prior_latency = qpp.prior_latency();
+        mat
     }
 
     /// Serializes to JSON.
@@ -48,9 +84,53 @@ impl MaterializedModels {
         serde_json::to_string(self).expect("models serialize")
     }
 
-    /// Deserializes from JSON.
-    pub fn from_json(json: &str) -> Result<MaterializedModels, serde_json::Error> {
-        serde_json::from_str(json)
+    /// Deserializes from JSON and validates the result (see
+    /// [`MaterializedModels::validate`]); malformed JSON and model sets
+    /// that would serve garbage are both rejected with
+    /// [`QppError::InvalidSnapshot`].
+    pub fn from_json(json: &str) -> Result<MaterializedModels, QppError> {
+        let mat: MaterializedModels = serde_json::from_str(json)
+            .map_err(|e| QppError::InvalidSnapshot(format!("malformed JSON: {e}")))?;
+        mat.validate()?;
+        Ok(mat)
+    }
+
+    /// Validation gate run at load time: every model in the set must have
+    /// finite weights and internally consistent feature arity.
+    pub fn validate(&self) -> Result<(), QppError> {
+        self.plan_level
+            .validate()
+            .map_err(QppError::InvalidSnapshot)?;
+        self.op_level
+            .validate()
+            .map_err(QppError::InvalidSnapshot)?;
+        for (k, m) in &self.hybrid_plan_models {
+            m.start
+                .validate(crate::features::plan_feature_count())
+                .map_err(|e| {
+                    QppError::InvalidSnapshot(format!("sub-plan {k:#x} start-time model: {e}"))
+                })?;
+            m.run
+                .validate(crate::features::plan_feature_count())
+                .map_err(|e| {
+                    QppError::InvalidSnapshot(format!("sub-plan {k:#x} run-time model: {e}"))
+                })?;
+        }
+        // The fallback calibration may legitimately be unknown (NaN /
+        // zero), but an infinite or negative value is corruption.
+        if self.secs_per_cost.is_infinite() || self.secs_per_cost < 0.0 {
+            return Err(QppError::InvalidSnapshot(format!(
+                "invalid secs-per-cost calibration {}",
+                self.secs_per_cost
+            )));
+        }
+        if !self.prior_latency.is_finite() || self.prior_latency < 0.0 {
+            return Err(QppError::InvalidSnapshot(format!(
+                "invalid prior latency {}",
+                self.prior_latency
+            )));
+        }
+        Ok(())
     }
 
     /// Rebuilds the hybrid model.
@@ -67,14 +147,13 @@ impl MaterializedModels {
 mod tests {
     use super::*;
     use crate::dataset::QueryDataset;
-    use crate::predictor::{Method, QppConfig, QppPredictor};
     use crate::hybrid::PlanOrdering;
+    use crate::predictor::{Method, QppConfig, QppPredictor};
     use crate::ExecutedQuery;
     use engine::{Catalog, Simulator};
     use tpch::Workload;
 
-    #[test]
-    fn models_roundtrip_through_json() {
+    fn trained() -> (QueryDataset, QppPredictor) {
         let catalog = Catalog::new(0.1, 1);
         let workload = Workload::generate(&[1, 3, 6], 8, 0.1, 7);
         let sim = Simulator::with_config(engine::SimConfig {
@@ -84,8 +163,15 @@ mod tests {
         let ds = QueryDataset::execute(&catalog, &workload, &sim, 11, f64::INFINITY);
         let refs: Vec<&ExecutedQuery> = ds.queries.iter().collect();
         let qpp = QppPredictor::train(&refs, QppConfig::default()).unwrap();
+        (ds, qpp)
+    }
 
-        let mat = MaterializedModels::new(&qpp.plan_level, &qpp.op_level, &qpp.hybrid);
+    #[test]
+    fn models_roundtrip_through_json() {
+        let (ds, qpp) = trained();
+        let refs: Vec<&ExecutedQuery> = ds.queries.iter().collect();
+
+        let mat = MaterializedModels::from_predictor(&qpp);
         let json = mat.to_json();
         assert!(json.len() > 100);
         let back = MaterializedModels::from_json(&json).unwrap();
@@ -103,5 +189,110 @@ mod tests {
             let f = back.op_level.predict(q);
             assert!((e - f).abs() < 1e-9, "op-level {e} vs {f}");
         }
+        // The fallback calibration rides along.
+        assert_eq!(back.secs_per_cost, qpp.secs_per_cost());
+        assert_eq!(back.prior_latency, qpp.prior_latency());
     }
+
+    #[test]
+    fn rebuilt_predictor_matches_original() {
+        let (ds, qpp) = trained();
+        let refs: Vec<&ExecutedQuery> = ds.queries.iter().collect();
+        let mat = MaterializedModels::from_predictor(&qpp);
+        let back = QppPredictor::from_materialized(&mat, QppConfig::default());
+        for q in &refs {
+            for m in [
+                Method::PlanLevel,
+                Method::OperatorLevel,
+                Method::Hybrid(PlanOrdering::ErrorBased),
+            ] {
+                assert!((qpp.predict(q, m) - back.predict(q, m)).abs() < 1e-9);
+            }
+        }
+        assert_eq!(back.secs_per_cost(), qpp.secs_per_cost());
+    }
+
+    #[test]
+    fn malformed_json_is_a_typed_error() {
+        for bad in ["", "{", "nonsense", "{\"plan_level\": 3}"] {
+            match MaterializedModels::from_json(bad) {
+                Err(QppError::InvalidSnapshot(msg)) => {
+                    assert!(msg.contains("malformed JSON"), "{msg}")
+                }
+                other => panic!("expected InvalidSnapshot, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_json_is_a_typed_error() {
+        let (_, qpp) = trained();
+        let json = MaterializedModels::from_predictor(&qpp).to_json();
+        // A torn write: the file ends mid-object.
+        let truncated = &json[..json.len() / 2];
+        match MaterializedModels::from_json(truncated) {
+            Err(QppError::InvalidSnapshot(msg)) => {
+                assert!(msg.contains("malformed JSON"), "{msg}")
+            }
+            other => panic!("expected InvalidSnapshot, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_weights_are_rejected_by_validate() {
+        // JSON itself cannot carry NaN/infinity, so this gate guards the
+        // *in-memory* path: the registry validates freshly trained
+        // candidates before serializing them.
+        let (_, qpp) = trained();
+        let mut mat = MaterializedModels::from_predictor(&qpp);
+        if let Some((_, m)) = mat.hybrid_plan_models.first_mut() {
+            m.start.model = ml::TrainedModel::Linear(ml::LinearModel {
+                intercept: f64::NAN,
+                weights: vec![0.0; m.start.selected.len()],
+            });
+            match mat.validate() {
+                Err(QppError::InvalidSnapshot(msg)) => {
+                    assert!(msg.contains("non-finite"), "{msg}")
+                }
+                other => panic!("expected InvalidSnapshot, got {other:?}"),
+            }
+        } else {
+            // No sub-plan models accepted on this seed: poison the
+            // calibration instead so the gate is still exercised.
+            mat.secs_per_cost = f64::INFINITY;
+            assert!(matches!(mat.validate(), Err(QppError::InvalidSnapshot(_))));
+        }
+    }
+
+    #[test]
+    fn mismatched_arity_is_rejected_at_load() {
+        let (_, qpp) = trained();
+        let mat = MaterializedModels::from_predictor(&qpp);
+        let mut value: serde_json::Value = serde_json::from_str(&mat.to_json()).unwrap();
+        // Point a selected feature index far outside the plan feature
+        // vector: deserialization alone would accept it and panic later at
+        // prediction time.
+        value["plan_level"]["inner"]["selected"][0] = serde_json::json!(9999);
+        let json = serde_json::to_string(&value).unwrap();
+        match MaterializedModels::from_json(&json) {
+            Err(QppError::InvalidSnapshot(msg)) => {
+                assert!(msg.contains("out of range"), "{msg}")
+            }
+            other => panic!("expected InvalidSnapshot, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_calibration_is_rejected() {
+        let (_, qpp) = trained();
+        let mut mat = MaterializedModels::from_predictor(&qpp);
+        mat.prior_latency = -1.0;
+        match mat.validate() {
+            Err(QppError::InvalidSnapshot(msg)) => {
+                assert!(msg.contains("prior latency"), "{msg}")
+            }
+            other => panic!("expected InvalidSnapshot, got {other:?}"),
+        }
+    }
+
 }

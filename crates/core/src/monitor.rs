@@ -1,0 +1,435 @@
+//! Drift monitoring: the feedback loop that keeps a serving predictor
+//! honest.
+//!
+//! The paper trains its models once and assumes a static data/workload
+//! regime; production studies of learned QPP report that data growth and
+//! workload shift are the dominant failure mode of deployed predictors.
+//! This module closes the loop: after each query executes, the caller
+//! feeds the `(prediction, observed latency)` pair back into a
+//! [`DriftMonitor`], which maintains streaming residual statistics per
+//! learned tier and per operator type, and runs a CUSUM-style detector
+//! over the relative-error stream. When the cumulative excess error
+//! crosses its thresholds, the tier's health degrades
+//! `Healthy → Suspect → Quarantined`; quarantine trips the predictor's
+//! existing circuit breaker (PR 1) so `predict_checked` degrades past the
+//! stale tier automatically, and signals the registry that a shadow
+//! retrain is warranted.
+
+use crate::predictor::{PredictionTier, QppPredictor, MODEL_TIERS};
+use engine::plan::ALL_OP_TYPES;
+use engine::OpType;
+use ml::metrics::relative_error;
+use ml::stats::{RollingWindow, Welford};
+
+/// Health of one learned model tier, in degradation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelHealth {
+    /// Residuals look like they did at calibration time.
+    Healthy,
+    /// The CUSUM statistic crossed the suspect threshold: residuals are
+    /// elevated, but not yet confirmed as drift.
+    Suspect,
+    /// Drift confirmed. The tier's circuit breaker is tripped and a
+    /// shadow retrain should be scheduled. Sticky until
+    /// [`DriftMonitor::reset_tier`].
+    Quarantined,
+}
+
+/// Configuration for the drift detector.
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// Capacity of the recent-residual window (the windowed mean relative
+    /// error reported next to the all-time Welford statistics).
+    pub window: usize,
+    /// Expected per-observation mean relative error of a healthy model.
+    /// `NaN` (the default) auto-calibrates it from the first
+    /// [`MonitorConfig::calibration`] observations.
+    pub baseline_error: f64,
+    /// Number of observations used to auto-calibrate the baseline when
+    /// [`MonitorConfig::baseline_error`] is NaN.
+    pub calibration: usize,
+    /// Slack added to the baseline before an observation counts as excess
+    /// error (absorbs noise so the CUSUM statistic only accumulates on
+    /// genuine degradation).
+    pub slack: f64,
+    /// CUSUM level at which a tier turns [`ModelHealth::Suspect`].
+    pub suspect_threshold: f64,
+    /// CUSUM level at which a tier turns [`ModelHealth::Quarantined`].
+    pub quarantine_threshold: f64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            window: 32,
+            baseline_error: f64::NAN,
+            calibration: 16,
+            slack: 0.10,
+            suspect_threshold: 1.0,
+            quarantine_threshold: 3.0,
+        }
+    }
+}
+
+/// Streaming residual state for one learned tier.
+#[derive(Debug, Clone)]
+pub struct TierState {
+    /// All-time relative-error statistics (Welford, single pass).
+    pub residuals: Welford,
+    /// Mean relative error over the recent window.
+    recent: RollingWindow,
+    /// CUSUM statistic: cumulative error in excess of baseline + slack.
+    pub cusum: f64,
+    /// Calibrated (or configured) baseline mean relative error; NaN until
+    /// calibration completes.
+    pub baseline: f64,
+    /// Welford accumulator used during auto-calibration.
+    calibrating: Welford,
+    /// Current health.
+    pub health: ModelHealth,
+}
+
+impl TierState {
+    fn new(cfg: &MonitorConfig) -> Self {
+        TierState {
+            residuals: Welford::new(),
+            recent: RollingWindow::new(cfg.window),
+            cusum: 0.0,
+            baseline: cfg.baseline_error,
+            calibrating: Welford::new(),
+            health: ModelHealth::Healthy,
+        }
+    }
+
+    /// Mean relative error over the recent window (0.0 before the first
+    /// observation).
+    pub fn windowed_error(&self) -> f64 {
+        self.recent.mean()
+    }
+
+    /// Number of observations this tier has ingested.
+    pub fn observations(&self) -> u64 {
+        self.residuals.count()
+    }
+}
+
+/// The feedback-loop drift detector.
+///
+/// One instance watches one serving predictor. Feed it
+/// `(tier, prediction, observed)` triples via [`DriftMonitor::observe`]
+/// (or [`DriftMonitor::ingest`] to also trip the predictor's breaker on
+/// quarantine); read back health and statistics per tier.
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    config: MonitorConfig,
+    tiers: [TierState; 3],
+    /// Per-operator-type residual statistics (indexed by
+    /// [`OpType::index`]), aggregated across tiers: localizes *which*
+    /// operators drifted once a tier is quarantined.
+    per_op: Vec<Welford>,
+}
+
+impl DriftMonitor {
+    /// Creates a monitor with the given detector configuration.
+    pub fn new(config: MonitorConfig) -> Self {
+        let tiers = [
+            TierState::new(&config),
+            TierState::new(&config),
+            TierState::new(&config),
+        ];
+        DriftMonitor {
+            config,
+            tiers,
+            per_op: vec![Welford::new(); ALL_OP_TYPES.len()],
+        }
+    }
+
+    /// The detector configuration.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// Folds one `(prediction, observed latency)` pair for the given
+    /// learned tier into the monitor and returns the tier's health after
+    /// the update. Non-finite pairs are ignored (they are the breaker's
+    /// job, not the drift detector's). Fallback tiers (cost scaling,
+    /// training prior) are accepted and ignored: they have no model to
+    /// quarantine.
+    pub fn observe(&mut self, tier: PredictionTier, predicted: f64, observed: f64) -> ModelHealth {
+        let Some(i) = MODEL_TIERS.iter().position(|t| *t == tier) else {
+            return ModelHealth::Healthy;
+        };
+        if !predicted.is_finite() || !observed.is_finite() || observed < 0.0 {
+            return self.tiers[i].health;
+        }
+        let err = relative_error(observed, predicted);
+        let st = &mut self.tiers[i];
+        st.residuals.push(err);
+        st.recent.push(err);
+
+        // Auto-calibrate the baseline from the first `calibration`
+        // residuals when none was configured.
+        if st.baseline.is_nan() {
+            st.calibrating.push(err);
+            if st.calibrating.count() >= self.config.calibration as u64 {
+                st.baseline = st.calibrating.mean();
+            }
+            return st.health;
+        }
+
+        // One-sided CUSUM on the excess over baseline + slack.
+        st.cusum = (st.cusum + err - (st.baseline + self.config.slack)).max(0.0);
+        if st.health != ModelHealth::Quarantined {
+            st.health = if st.cusum >= self.config.quarantine_threshold {
+                ModelHealth::Quarantined
+            } else if st.cusum >= self.config.suspect_threshold {
+                ModelHealth::Suspect
+            } else {
+                ModelHealth::Healthy
+            };
+        }
+        st.health
+    }
+
+    /// Like [`DriftMonitor::observe`], but also attributes the residual to
+    /// the executed plan's operator types and trips the predictor's
+    /// circuit breaker for the tier when the update quarantines it.
+    /// Returns the tier's health after the update.
+    pub fn ingest(
+        &mut self,
+        predictor: &QppPredictor,
+        tier: PredictionTier,
+        predicted: f64,
+        observed: f64,
+        op_types: &[OpType],
+    ) -> ModelHealth {
+        let health = self.observe(tier, predicted, observed);
+        if predicted.is_finite() && observed.is_finite() && observed >= 0.0 {
+            let err = relative_error(observed, predicted);
+            for op in op_types {
+                self.per_op[op.index()].push(err);
+            }
+        }
+        if health == ModelHealth::Quarantined {
+            predictor.trip_breaker(tier);
+        }
+        health
+    }
+
+    /// Current health of the given tier (fallback tiers are always
+    /// healthy).
+    pub fn health(&self, tier: PredictionTier) -> ModelHealth {
+        MODEL_TIERS
+            .iter()
+            .position(|t| *t == tier)
+            .map_or(ModelHealth::Healthy, |i| self.tiers[i].health)
+    }
+
+    /// Streaming residual state for the given learned tier; `None` for
+    /// fallback tiers.
+    pub fn tier(&self, tier: PredictionTier) -> Option<&TierState> {
+        MODEL_TIERS
+            .iter()
+            .position(|t| *t == tier)
+            .map(|i| &self.tiers[i])
+    }
+
+    /// All-time residual statistics for one operator type (aggregated
+    /// across tiers via [`DriftMonitor::ingest`]).
+    pub fn op_residuals(&self, op: OpType) -> &Welford {
+        &self.per_op[op.index()]
+    }
+
+    /// True when any learned tier is quarantined — the registry's cue to
+    /// start a shadow retrain.
+    pub fn any_quarantined(&self) -> bool {
+        self.tiers.iter().any(|t| t.health == ModelHealth::Quarantined)
+    }
+
+    /// Clears one tier's drift state (health, CUSUM, calibration) after a
+    /// model swap; the all-time residual statistics are reset too, since
+    /// they described the replaced model.
+    pub fn reset_tier(&mut self, tier: PredictionTier) {
+        if let Some(i) = MODEL_TIERS.iter().position(|t| *t == tier) {
+            self.tiers[i] = TierState::new(&self.config);
+        }
+    }
+
+    /// Clears all drift state (every tier and the per-operator
+    /// statistics); called when the registry promotes a new model set.
+    pub fn reset_all(&mut self) {
+        for t in &mut self.tiers {
+            *t = TierState::new(&self.config);
+        }
+        for w in &mut self.per_op {
+            *w = Welford::new();
+        }
+    }
+}
+
+impl Default for DriftMonitor {
+    fn default() -> Self {
+        DriftMonitor::new(MonitorConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn configured() -> DriftMonitor {
+        // Explicit baseline: no calibration phase, deterministic tests.
+        DriftMonitor::new(MonitorConfig {
+            baseline_error: 0.10,
+            ..MonitorConfig::default()
+        })
+    }
+
+    #[test]
+    fn accurate_predictions_stay_healthy() {
+        let mut m = configured();
+        for _ in 0..500 {
+            let h = m.observe(PredictionTier::Hybrid, 1.0, 1.05);
+            assert_eq!(h, ModelHealth::Healthy);
+        }
+        assert_eq!(m.health(PredictionTier::Hybrid), ModelHealth::Healthy);
+        assert!(!m.any_quarantined());
+        let st = m.tier(PredictionTier::Hybrid).unwrap();
+        assert_eq!(st.observations(), 500);
+        assert!(st.windowed_error() < 0.06);
+        assert_eq!(st.cusum, 0.0);
+    }
+
+    #[test]
+    fn sustained_drift_escalates_to_quarantine() {
+        let mut m = configured();
+        // Model predicts 1.0 but the world now takes 3.0: relative error
+        // ~0.67 per observation, excess ~0.47 over baseline + slack.
+        let mut saw_suspect = false;
+        let mut quarantined_at = None;
+        for i in 0..50 {
+            match m.observe(PredictionTier::Hybrid, 1.0, 3.0) {
+                ModelHealth::Suspect => saw_suspect = true,
+                ModelHealth::Quarantined => {
+                    quarantined_at = Some(i);
+                    break;
+                }
+                ModelHealth::Healthy => {}
+            }
+        }
+        assert!(saw_suspect, "must pass through Suspect");
+        let at = quarantined_at.expect("sustained drift must quarantine");
+        assert!(at < 20, "quarantine took {at} observations");
+        assert!(m.any_quarantined());
+    }
+
+    #[test]
+    fn quarantine_is_sticky_until_reset() {
+        let mut m = configured();
+        while m.observe(PredictionTier::Hybrid, 1.0, 5.0) != ModelHealth::Quarantined {}
+        // Even a long run of perfect predictions does not un-quarantine.
+        for _ in 0..200 {
+            assert_eq!(
+                m.observe(PredictionTier::Hybrid, 1.0, 1.0),
+                ModelHealth::Quarantined
+            );
+        }
+        m.reset_tier(PredictionTier::Hybrid);
+        assert_eq!(m.health(PredictionTier::Hybrid), ModelHealth::Healthy);
+        assert_eq!(m.tier(PredictionTier::Hybrid).unwrap().observations(), 0);
+    }
+
+    #[test]
+    fn occasional_outliers_do_not_quarantine() {
+        let mut m = configured();
+        for i in 0..300 {
+            let observed = if i % 25 == 0 { 4.0 } else { 1.02 };
+            m.observe(PredictionTier::Hybrid, 1.0, observed);
+        }
+        // The CUSUM drains between outliers; isolated spikes are noise.
+        assert_ne!(m.health(PredictionTier::Hybrid), ModelHealth::Quarantined);
+    }
+
+    #[test]
+    fn tiers_are_tracked_independently() {
+        let mut m = configured();
+        while m.observe(PredictionTier::OperatorLevel, 1.0, 5.0) != ModelHealth::Quarantined {}
+        assert_eq!(m.health(PredictionTier::Hybrid), ModelHealth::Healthy);
+        assert_eq!(m.health(PredictionTier::PlanLevel), ModelHealth::Healthy);
+        assert_eq!(
+            m.health(PredictionTier::OperatorLevel),
+            ModelHealth::Quarantined
+        );
+    }
+
+    #[test]
+    fn fallback_tiers_are_ignored() {
+        let mut m = configured();
+        for _ in 0..100 {
+            assert_eq!(
+                m.observe(PredictionTier::CostScaling, 1.0, 100.0),
+                ModelHealth::Healthy
+            );
+            assert_eq!(
+                m.observe(PredictionTier::TrainingPrior, 1.0, 100.0),
+                ModelHealth::Healthy
+            );
+        }
+        assert!(m.tier(PredictionTier::CostScaling).is_none());
+        assert!(!m.any_quarantined());
+    }
+
+    #[test]
+    fn non_finite_observations_are_ignored() {
+        let mut m = configured();
+        m.observe(PredictionTier::Hybrid, f64::NAN, 1.0);
+        m.observe(PredictionTier::Hybrid, 1.0, f64::INFINITY);
+        m.observe(PredictionTier::Hybrid, 1.0, -1.0);
+        assert_eq!(m.tier(PredictionTier::Hybrid).unwrap().observations(), 0);
+    }
+
+    #[test]
+    fn auto_calibration_learns_the_baseline() {
+        let mut m = DriftMonitor::new(MonitorConfig {
+            calibration: 8,
+            ..MonitorConfig::default()
+        });
+        // A model that is consistently ~40% off: with a fixed 10% baseline
+        // this would quarantine, but calibration should absorb it as the
+        // tier's normal behavior.
+        for _ in 0..200 {
+            m.observe(PredictionTier::Hybrid, 1.0, 1.4);
+        }
+        let st = m.tier(PredictionTier::Hybrid).unwrap();
+        assert!(
+            (st.baseline - relative_error(1.4, 1.0)).abs() < 1e-9,
+            "baseline = {}",
+            st.baseline
+        );
+        assert_eq!(m.health(PredictionTier::Hybrid), ModelHealth::Healthy);
+        // And drift beyond the calibrated baseline still quarantines.
+        let mut fired = false;
+        for _ in 0..50 {
+            if m.observe(PredictionTier::Hybrid, 1.0, 4.0) == ModelHealth::Quarantined {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "drift past the calibrated baseline must fire");
+    }
+
+    #[test]
+    fn welford_residuals_match_two_pass() {
+        let mut m = configured();
+        let errs: Vec<f64> = (0..40)
+            .map(|i| {
+                let obs = 1.0 + (i as f64) * 0.01;
+                m.observe(PredictionTier::PlanLevel, 1.0, obs);
+                relative_error(obs, 1.0)
+            })
+            .collect();
+        let st = m.tier(PredictionTier::PlanLevel).unwrap();
+        assert!((st.residuals.mean() - ml::stats::mean(&errs)).abs() < 1e-12);
+        assert!((st.residuals.variance() - ml::stats::variance(&errs)).abs() < 1e-12);
+    }
+}

@@ -81,6 +81,21 @@ impl<'a> OnlinePredictor<'a> {
         self.base.op_model.source()
     }
 
+    /// Replaces the pre-built base model (a registry hot swap reaching the
+    /// online layer). Every derived state is invalidated: the per-fragment
+    /// model decisions were scored against the old operator models, the
+    /// memo cache is keyed by the old model signature, and the training
+    /// views must match the new base's feature source.
+    pub fn rebase(&mut self, base: HybridModel) {
+        if base.op_model.source() != self.source() {
+            let source = base.op_model.source();
+            self.views = self.train.iter().map(|q| q.views(source)).collect();
+        }
+        self.base = base;
+        self.cache.clear();
+        self.pred_cache.clear();
+    }
+
     /// The immediate prediction with pre-built models, and the refined
     /// prediction after online model building (the paper's progressive
     /// improvement).
@@ -348,5 +363,30 @@ mod tests {
         let b = online.predict(&q.plan, &views);
         assert_eq!(a, b);
         assert_eq!(online.cache.len(), cached_entries);
+    }
+
+    #[test]
+    fn rebase_invalidates_cached_decisions() {
+        let ds = dataset(&[3, 6]);
+        let refs: Vec<&ExecutedQuery> = ds.queries.iter().collect();
+        let op = OpLevelModel::train(&refs, &OpModelConfig::default()).unwrap();
+        let mut online = OnlinePredictor::new(
+            refs.clone(),
+            HybridModel::operator_only(op),
+            OnlineConfig {
+                min_frequency: 3,
+                ..OnlineConfig::default()
+            },
+        );
+        let _ = online.predict_query(refs[0]);
+        // Swap in a base retrained on half the data: the fragment
+        // decisions and memoized predictions scored against the old base
+        // must not survive.
+        let half: Vec<&ExecutedQuery> = refs[..refs.len() / 2].to_vec();
+        let op2 = OpLevelModel::train(&half, &OpModelConfig::default()).unwrap();
+        online.rebase(HybridModel::operator_only(op2));
+        assert!(online.cache.is_empty());
+        assert_eq!(online.pred_cache.stats().entries, 0);
+        assert!(online.predict_query(refs[0]).is_finite());
     }
 }

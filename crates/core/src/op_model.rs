@@ -179,6 +179,47 @@ impl OpLevelModel {
         self.source
     }
 
+    /// Snapshot-load validation: every per-operator start/run model must
+    /// pass [`FeatureModel::validate`] against the operator feature arity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.per_type.len() != ALL_OP_TYPES.len() {
+            return Err(format!(
+                "operator-level model covers {} operator types, expected {}",
+                self.per_type.len(),
+                ALL_OP_TYPES.len()
+            ));
+        }
+        for (i, pair) in self.per_type.iter().enumerate() {
+            if let Some((start, run)) = pair {
+                let op = ALL_OP_TYPES[i];
+                start
+                    .validate(OP_FEATURE_NAMES.len())
+                    .map_err(|e| format!("{op:?} start-time model: {e}"))?;
+                run.validate(OP_FEATURE_NAMES.len())
+                    .map_err(|e| format!("{op:?} run-time model: {e}"))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Content fingerprint over every per-operator model (see
+    /// [`FeatureModel::fingerprint`]); part of the hybrid model-set
+    /// signature that keys the prediction cache.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: Vec<u64> = Vec::with_capacity(1 + 2 * self.per_type.len());
+        h.push(u64::from(self.include_start_features));
+        for pair in &self.per_type {
+            match pair {
+                Some((start, run)) => {
+                    h.push(start.fingerprint());
+                    h.push(run.fingerprint());
+                }
+                None => h.push(0),
+            }
+        }
+        crate::pred_cache::hash_u64s(&h)
+    }
+
     /// Predicts a query's latency by bottom-up composition.
     pub fn predict(&self, query: &ExecutedQuery) -> f64 {
         self.predict_composed(query).latency()

@@ -210,6 +210,67 @@ impl FeatureModel {
                 v >= lo - margin * span && v <= hi + margin * span
             })
     }
+
+    /// Structural validation against the feature vector arity this model
+    /// is served with — the snapshot-load gate. Returns the failed check
+    /// as a message; callers wrap it into
+    /// [`crate::error::QppError::InvalidSnapshot`].
+    pub fn validate(&self, full_arity: usize) -> Result<(), String> {
+        if !self.model.weights_finite() {
+            return Err("model contains non-finite weights".to_string());
+        }
+        if self.model.n_features() != self.selected.len() {
+            return Err(format!(
+                "feature arity mismatch: model expects {} features, {} selected",
+                self.model.n_features(),
+                self.selected.len()
+            ));
+        }
+        if let Some(&j) = self.selected.iter().find(|&&j| j >= full_arity) {
+            return Err(format!(
+                "selected feature index {j} out of range (arity {full_arity})"
+            ));
+        }
+        if self.feature_ranges.len() != self.selected.len() {
+            return Err(format!(
+                "feature-range count {} does not match {} selected features",
+                self.feature_ranges.len(),
+                self.selected.len()
+            ));
+        }
+        if self
+            .feature_ranges
+            .iter()
+            .any(|(lo, hi)| !lo.is_finite() || !hi.is_finite())
+        {
+            return Err("non-finite feature range".to_string());
+        }
+        let (lo, hi) = self.target_range;
+        if !lo.is_finite() || !hi.is_finite() || lo > hi {
+            return Err(format!("invalid target range ({lo}, {hi})"));
+        }
+        Ok(())
+    }
+
+    /// Content fingerprint for cache-key signatures: hashes the selected
+    /// columns, training-time ranges, and CV error, so models trained on
+    /// different data (or with different selections) fingerprint
+    /// differently even when they cover the same plan structures.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: Vec<u64> =
+            Vec::with_capacity(5 + self.selected.len() + 2 * self.feature_ranges.len());
+        h.push(self.selected.len() as u64);
+        h.extend(self.selected.iter().map(|&i| i as u64));
+        h.push(self.cv_error.to_bits());
+        h.push(u64::from(self.log_target));
+        h.push(self.target_range.0.to_bits());
+        h.push(self.target_range.1.to_bits());
+        for (lo, hi) in &self.feature_ranges {
+            h.push(lo.to_bits());
+            h.push(hi.to_bits());
+        }
+        crate::pred_cache::hash_u64s(&h)
+    }
 }
 
 /// Reusable scratch for [`FeatureModel::predict_into`]: the projected
@@ -354,6 +415,14 @@ impl PlanLevelModel {
     pub fn training_cv_error(&self) -> f64 {
         self.inner.cv_error
     }
+
+    /// Snapshot-load validation: checks the inner model against the
+    /// plan-level feature arity (see [`FeatureModel::validate`]).
+    pub fn validate(&self) -> Result<(), String> {
+        self.inner
+            .validate(crate::features::plan_feature_count())
+            .map_err(|e| format!("plan-level model: {e}"))
+    }
 }
 
 /// Assembles the (features, latency) design matrix for a set of queries.
@@ -436,5 +505,58 @@ mod tests {
             model.selected_feature_names().len(),
             crate::features::plan_feature_count()
         );
+    }
+
+    #[test]
+    fn validate_accepts_trained_and_rejects_poisoned_models() {
+        let ds = dataset();
+        let refs: Vec<&ExecutedQuery> = ds.queries.iter().collect();
+        let model = PlanLevelModel::train(&refs, &PlanModelConfig::default()).unwrap();
+        model.validate().expect("freshly trained model validates");
+
+        // Non-finite weights (same module, so the private `inner` is
+        // reachable for poisoning).
+        let mut poisoned = model.clone();
+        poisoned.inner.model = TrainedModel::Linear(ml::LinearModel {
+            intercept: f64::NAN,
+            weights: vec![0.0; poisoned.inner.selected.len()],
+        });
+        let err = poisoned.validate().unwrap_err();
+        assert!(err.contains("non-finite"), "{err}");
+
+        // Model arity disagreeing with the selected-column count.
+        let mut poisoned = model.clone();
+        poisoned.inner.model = TrainedModel::Linear(ml::LinearModel {
+            intercept: 0.0,
+            weights: vec![0.0; poisoned.inner.selected.len() + 2],
+        });
+        let err = poisoned.validate().unwrap_err();
+        assert!(err.contains("arity mismatch"), "{err}");
+
+        // Selected index outside the plan feature vector.
+        let mut poisoned = model.clone();
+        poisoned.inner.selected[0] = 9999;
+        let err = poisoned.validate().unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+
+        // Non-finite training ranges.
+        let mut poisoned = model.clone();
+        poisoned.inner.target_range = (0.0, f64::INFINITY);
+        let err = poisoned.validate().unwrap_err();
+        assert!(err.contains("target range"), "{err}");
+    }
+
+    #[test]
+    fn fingerprints_discriminate_model_content() {
+        let ds = dataset();
+        let refs: Vec<&ExecutedQuery> = ds.queries.iter().collect();
+        let model = PlanLevelModel::train(&refs, &PlanModelConfig::default()).unwrap();
+        let same = PlanLevelModel::train(&refs, &PlanModelConfig::default()).unwrap();
+        // Deterministic training: identical inputs, identical fingerprint.
+        assert_eq!(model.inner.fingerprint(), same.inner.fingerprint());
+        // Retraining on different data must change the fingerprint.
+        let fewer: Vec<&ExecutedQuery> = refs[..refs.len() / 2].to_vec();
+        let other = PlanLevelModel::train(&fewer, &PlanModelConfig::default()).unwrap();
+        assert_ne!(model.inner.fingerprint(), other.inner.fingerprint());
     }
 }

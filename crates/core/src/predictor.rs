@@ -108,8 +108,9 @@ pub struct QppPredictor {
     breakers: [AtomicU32; 3],
 }
 
-/// The three learned tiers, in degradation order.
-const MODEL_TIERS: [PredictionTier; 3] = [
+/// The three learned tiers, in degradation order. The drift monitor keys
+/// its per-tier residual statistics by position in this array.
+pub const MODEL_TIERS: [PredictionTier; 3] = [
     PredictionTier::Hybrid,
     PredictionTier::OperatorLevel,
     PredictionTier::PlanLevel,
@@ -301,6 +302,59 @@ impl QppPredictor {
     pub fn reset_breakers(&self) {
         for b in &self.breakers {
             b.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Opens the given learned tier's circuit breaker immediately, so
+    /// [`QppPredictor::predict_checked`] degrades past it. Used by the
+    /// drift monitor when it quarantines a tier whose residuals have
+    /// drifted: a stale model is treated exactly like one emitting invalid
+    /// outputs. No-op for the analytical fallback tiers. The breaker
+    /// closes again on the tier's next valid output or via
+    /// [`QppPredictor::reset_breakers`] — callers that want quarantine to
+    /// stick must consult the monitor, not the breaker, before serving.
+    pub fn trip_breaker(&self, tier: PredictionTier) {
+        if let Some(i) = tier_index(tier) {
+            self.breakers[i].store(self.config.breaker_threshold, Ordering::Relaxed);
+        }
+    }
+
+    /// Median observed seconds per optimizer cost unit at training time
+    /// (NaN when no training query had a usable cost estimate).
+    pub fn secs_per_cost(&self) -> f64 {
+        self.secs_per_cost
+    }
+
+    /// Median training latency (the last-resort prior).
+    pub fn prior_latency(&self) -> f64 {
+        self.prior_latency
+    }
+
+    /// The training configuration this predictor was built with.
+    pub fn config(&self) -> &QppConfig {
+        &self.config
+    }
+
+    /// Rebuilds a predictor from a materialized model set without
+    /// retraining (the registry's snapshot-load path).
+    ///
+    /// The hybrid training trajectory is not persisted, so it comes back
+    /// empty; circuit breakers start closed. Callers should run
+    /// [`crate::materialize::MaterializedModels::validate`] first — this
+    /// constructor trusts the model set it is given.
+    pub fn from_materialized(
+        mat: &crate::materialize::MaterializedModels,
+        config: QppConfig,
+    ) -> QppPredictor {
+        QppPredictor {
+            plan_level: mat.plan_level.clone(),
+            op_level: mat.op_level.clone(),
+            hybrid: mat.hybrid(),
+            hybrid_trajectory: Vec::new(),
+            config,
+            secs_per_cost: mat.secs_per_cost,
+            prior_latency: mat.prior_latency,
+            breakers: [AtomicU32::new(0), AtomicU32::new(0), AtomicU32::new(0)],
         }
     }
 

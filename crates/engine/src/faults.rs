@@ -139,6 +139,117 @@ impl Default for FaultPlan {
     }
 }
 
+/// The kind of distribution drift a [`DriftPlan`] injects.
+///
+/// Both scenarios model the production failure mode reported for deployed
+/// learned predictors: the world changes while the trained model (and the
+/// optimizer statistics it was trained against) stand still.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftKind {
+    /// The underlying data grows: observed latencies inflate over time
+    /// while the logged optimizer estimates stay stale (computed against
+    /// the old statistics).
+    DataGrowth,
+    /// The workload's predicate selectivities shift: the logged estimates
+    /// drift away from the truth (rows/pages/selectivity systematically
+    /// inflated) while observed latencies stay where they were.
+    SelectivityShift,
+}
+
+/// A seeded, deterministic drift scenario applied per query *index* (the
+/// query's position in the workload stream), so drift ramps in over the
+/// stream rather than firing per execution attempt like [`FaultPlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftPlan {
+    /// What drifts.
+    pub kind: DriftKind,
+    /// Index of the first drifted query in the stream.
+    pub onset: usize,
+    /// Number of queries over which drift ramps from zero to full
+    /// magnitude (0 = step change at `onset`).
+    pub ramp: usize,
+    /// Full-strength drift magnitude. For [`DriftKind::DataGrowth`] this is
+    /// the latency multiplier at full ramp (values below 1 are treated as
+    /// 1); for [`DriftKind::SelectivityShift`] it is the estimate inflation
+    /// factor at full ramp.
+    pub magnitude: f64,
+    /// Drift-stream seed (jitter in estimate shifts).
+    pub seed: u64,
+}
+
+impl DriftPlan {
+    /// A plan that injects no drift (onset beyond any workload).
+    pub fn none() -> DriftPlan {
+        DriftPlan {
+            kind: DriftKind::DataGrowth,
+            onset: usize::MAX,
+            ramp: 0,
+            magnitude: 1.0,
+            seed: 0,
+        }
+    }
+
+    /// Drift intensity in `[0, 1]` for the query at stream position `idx`:
+    /// 0 before `onset`, ramping linearly to 1 over `ramp` queries.
+    pub fn intensity(&self, idx: usize) -> f64 {
+        if idx < self.onset {
+            return 0.0;
+        }
+        if self.ramp == 0 {
+            return 1.0;
+        }
+        (((idx - self.onset) as f64 + 1.0) / self.ramp as f64).min(1.0)
+    }
+
+    /// Latency multiplier for the query at stream position `idx` (1.0 when
+    /// drift does not affect latency).
+    pub fn latency_factor(&self, idx: usize) -> f64 {
+        match self.kind {
+            DriftKind::DataGrowth => 1.0 + (self.magnitude.max(1.0) - 1.0) * self.intensity(idx),
+            DriftKind::SelectivityShift => 1.0,
+        }
+    }
+
+    /// Shifts a plan's logged optimizer estimates in place for the query at
+    /// stream position `idx`. Deterministic in (drift seed, idx).
+    ///
+    /// [`DriftKind::DataGrowth`] leaves the estimates untouched — that is
+    /// the point of the scenario: the optimizer's statistics are stale, so
+    /// the *gap* between estimate and observation is what grows.
+    /// [`DriftKind::SelectivityShift`] inflates per-node rows, pages, and
+    /// selectivity by the ramped magnitude with mild seeded jitter.
+    pub fn shift_estimates(&self, plan: &mut PlanNode, idx: usize) {
+        let intensity = self.intensity(idx);
+        if intensity <= 0.0 || self.kind != DriftKind::SelectivityShift {
+            return;
+        }
+        let factor = 1.0 + (self.magnitude.max(1.0) - 1.0) * intensity;
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ (idx as u64).wrapping_mul(0x5851_F42D_4C95_7F2D) ^ 0xD1F7,
+        );
+        shift_node(plan, factor, &mut rng);
+    }
+}
+
+impl Default for DriftPlan {
+    fn default() -> Self {
+        DriftPlan::none()
+    }
+}
+
+fn shift_node(node: &mut PlanNode, factor: f64, rng: &mut StdRng) {
+    // ±10% jitter around the systematic shift keeps nodes decorrelated
+    // without hiding the drift signal.
+    let jitter = 0.9 + 0.2 * rng.gen::<f64>();
+    let f = (factor * jitter).max(1.0);
+    node.est.rows *= f;
+    node.est.pages *= f;
+    node.est.selectivity = (node.est.selectivity * f).min(1.0);
+    for c in &mut node.children {
+        shift_node(c, factor, rng);
+    }
+}
+
 fn corrupt_node(node: &mut PlanNode, rng: &mut StdRng) {
     if rng.gen::<f64>() < 0.35 {
         match rng.gen_range(0u8..3) {
@@ -266,5 +377,77 @@ mod tests {
             needed_secs: 42.0,
         };
         assert!(t.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn drift_none_is_inert() {
+        let d = DriftPlan::none();
+        let original = sample_plan(6);
+        for idx in [0usize, 5, 1000] {
+            assert_eq!(d.intensity(idx), 0.0);
+            assert_eq!(d.latency_factor(idx), 1.0);
+            let mut p = original.clone();
+            d.shift_estimates(&mut p, idx);
+            assert_eq!(format!("{p:?}"), format!("{original:?}"));
+        }
+    }
+
+    #[test]
+    fn data_growth_ramps_latency_and_keeps_estimates_stale() {
+        let d = DriftPlan {
+            kind: DriftKind::DataGrowth,
+            onset: 10,
+            ramp: 5,
+            magnitude: 3.0,
+            seed: 9,
+        };
+        assert_eq!(d.latency_factor(9), 1.0);
+        // Ramp: idx 10 is 1/5 of the way, idx 14 (and beyond) is full.
+        assert!((d.latency_factor(10) - 1.4).abs() < 1e-12);
+        assert!((d.latency_factor(14) - 3.0).abs() < 1e-12);
+        assert!((d.latency_factor(500) - 3.0).abs() < 1e-12);
+        // Estimates stay stale under data growth.
+        let original = sample_plan(3);
+        let mut p = original.clone();
+        d.shift_estimates(&mut p, 500);
+        assert_eq!(format!("{p:?}"), format!("{original:?}"));
+    }
+
+    #[test]
+    fn selectivity_shift_inflates_estimates_deterministically() {
+        let d = DriftPlan {
+            kind: DriftKind::SelectivityShift,
+            onset: 0,
+            ramp: 0,
+            magnitude: 4.0,
+            seed: 21,
+        };
+        assert_eq!(d.latency_factor(3), 1.0, "latency unaffected");
+        let original = sample_plan(3);
+        let mut a = original.clone();
+        let mut b = original.clone();
+        d.shift_estimates(&mut a, 3);
+        d.shift_estimates(&mut b, 3);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "shift must be deterministic");
+        assert_ne!(format!("{a:?}"), format!("{original:?}"), "shift must change estimates");
+        // Rows only ever inflate.
+        for (o, s) in original.preorder().iter().zip(a.preorder()) {
+            assert!(s.est.rows >= o.est.rows, "rows shrank");
+        }
+    }
+
+    #[test]
+    fn step_drift_at_onset_zero_hits_everything() {
+        let d = DriftPlan {
+            kind: DriftKind::DataGrowth,
+            onset: 0,
+            ramp: 0,
+            magnitude: 2.5,
+            seed: 0,
+        };
+        for idx in 0..20 {
+            assert_eq!(d.intensity(idx), 1.0);
+            assert!((d.latency_factor(idx) - 2.5).abs() < 1e-12);
+        }
     }
 }

@@ -38,7 +38,7 @@ pub mod truth;
 
 pub use catalog::Catalog;
 pub use estimator::Estimator;
-pub use faults::{ExecError, FaultOutcome, FaultPlan};
+pub use faults::{DriftKind, DriftPlan, ExecError, FaultOutcome, FaultPlan};
 pub use explain::{explain, explain_analyze};
 pub use plan::{NodeEst, NodeTruth, OpDetail, OpType, PlanNode, ALL_OP_TYPES};
 pub use planner::{Planner, PlannerConfig};

@@ -27,7 +27,7 @@
 //! - log-normal measurement noise per node and per query.
 
 use crate::estimator::cardenas;
-use crate::faults::{ExecError, FaultPlan};
+use crate::faults::{DriftPlan, ExecError, FaultPlan};
 use crate::plan::{OpDetail, OpType, PlanNode};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -293,6 +293,46 @@ impl Simulator {
         let mut trace = self.execute(plan, sf, seed);
         if outcome.straggler_factor > 1.0 {
             let m = outcome.straggler_factor;
+            trace.total_secs *= m;
+            for t in &mut trace.timings {
+                t.start *= m;
+                t.run *= m;
+            }
+        }
+        if outcome.abort {
+            return Err(ExecError::Aborted {
+                progress: outcome.abort_progress,
+            });
+        }
+        if trace.total_secs > faults.timeout_secs {
+            return Err(ExecError::Timeout {
+                budget_secs: faults.timeout_secs,
+                needed_secs: trace.total_secs,
+            });
+        }
+        Ok(trace)
+    }
+
+    /// Executes a plan under both a fault-injection policy and a drift
+    /// scenario. `query_idx` is the query's position in the workload
+    /// stream, which determines how far the drift has ramped in. The
+    /// drift's latency factor composes multiplicatively with any straggler
+    /// stretch; abort and timeout decisions then apply to the drifted
+    /// latency. With `DriftPlan::none()` this is byte-identical to
+    /// [`Simulator::try_execute`].
+    pub fn try_execute_drifted(
+        &self,
+        plan: &PlanNode,
+        sf: f64,
+        seed: u64,
+        faults: &FaultPlan,
+        drift: &DriftPlan,
+        query_idx: usize,
+    ) -> Result<Trace, ExecError> {
+        let outcome = faults.decide(seed);
+        let mut trace = self.execute(plan, sf, seed);
+        let m = outcome.straggler_factor.max(1.0) * drift.latency_factor(query_idx);
+        if m != 1.0 {
             trace.total_secs *= m;
             for t in &mut trace.timings {
                 t.start *= m;

@@ -81,6 +81,28 @@ pub fn stratified_kfold(strata: &[usize], k: usize, seed: u64) -> Vec<Fold> {
         .collect()
 }
 
+/// Single shuffled train/test split of `n` rows: roughly `test_frac` of the
+/// rows (clamped so both sides keep at least one row) are held out.
+///
+/// Used by shadow retraining to score a candidate model against the
+/// incumbent on data neither was fit on.
+///
+/// # Panics
+/// Panics when `n < 2` or `test_frac` is not in `(0, 1)`.
+pub fn holdout(n: usize, test_frac: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!(n >= 2, "holdout requires at least 2 rows (n={n})");
+    assert!(
+        test_frac > 0.0 && test_frac < 1.0,
+        "holdout test_frac must be in (0, 1), got {test_frac}"
+    );
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed));
+    let n_test = ((n as f64 * test_frac).round() as usize).clamp(1, n - 1);
+    let test = order[..n_test].to_vec();
+    let train = order[n_test..].to_vec();
+    (train, test)
+}
+
 fn folds_from_order(order: &[usize], k: usize, n: usize) -> Vec<Fold> {
     let base = n / k;
     let extra = n % k;
@@ -233,6 +255,28 @@ mod tests {
         let mut seen: Vec<usize> = folds.iter().flat_map(|f| f.test.clone()).collect();
         seen.sort_unstable();
         assert_eq!(seen, (0..23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn holdout_partitions_all_rows() {
+        let (train, test) = holdout(10, 0.3, 5);
+        assert_eq!(test.len(), 3);
+        assert_eq!(train.len(), 7);
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+        // Deterministic per seed.
+        assert_eq!(holdout(10, 0.3, 5), holdout(10, 0.3, 5));
+    }
+
+    #[test]
+    fn holdout_keeps_both_sides_nonempty() {
+        let (train, test) = holdout(2, 0.01, 0);
+        assert_eq!(train.len(), 1);
+        assert_eq!(test.len(), 1);
+        let (train, test) = holdout(3, 0.99, 0);
+        assert_eq!(train.len(), 1);
+        assert_eq!(test.len(), 2);
     }
 
     #[test]

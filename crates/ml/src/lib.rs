@@ -47,13 +47,14 @@ pub mod stats;
 pub mod svr;
 
 pub use compiled::{CompiledModel, CompiledSvr, PredictScratch};
-pub use cv::{kfold, stratified_kfold, CrossValidation};
+pub use cv::{holdout, kfold, stratified_kfold, CrossValidation};
 pub use dataset::Dataset;
 pub use feature_selection::{forward_select, ForwardSelection};
 pub use gram::{GramCache, GramCacheStats};
 pub use linreg::{LinearModel, LinearRegression};
 pub use metrics::{mean_absolute_error, mean_relative_error, predictive_risk, r2_score, rmse};
 pub use scaler::StandardScaler;
+pub use stats::{RollingWindow, Welford};
 pub use nusvr::{NuSvr, NuSvrParams};
 pub use svr::{Kernel, Svr, SvrModel, SvrParams};
 
@@ -181,6 +182,16 @@ impl TrainedModel {
         match self {
             TrainedModel::Linear(m) => m.predict_batch(rows),
             TrainedModel::Svr(m) => m.predict_batch(rows),
+        }
+    }
+
+    /// True when every learned parameter of the underlying model is finite
+    /// — the registry's snapshot validation gate. A model that fails this
+    /// check would silently emit NaN predictions if served.
+    pub fn weights_finite(&self) -> bool {
+        match self {
+            TrainedModel::Linear(m) => m.weights_finite(),
+            TrainedModel::Svr(m) => m.weights_finite(),
         }
     }
 }

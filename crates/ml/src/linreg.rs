@@ -156,6 +156,12 @@ impl LinearModel {
     pub fn n_features(&self) -> usize {
         self.weights.len()
     }
+
+    /// True when the intercept and every weight are finite — the
+    /// registry's snapshot validation gate.
+    pub fn weights_finite(&self) -> bool {
+        self.intercept.is_finite() && self.weights.iter().all(|w| w.is_finite())
+    }
 }
 
 #[cfg(test)]

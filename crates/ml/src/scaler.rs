@@ -55,6 +55,13 @@ impl StandardScaler {
         out
     }
 
+    /// True when every fitted mean and standard deviation is finite (and
+    /// no std is zero) — part of the snapshot finite-weights validation.
+    pub fn is_finite(&self) -> bool {
+        self.means.iter().all(|m| m.is_finite())
+            && self.stds.iter().all(|s| s.is_finite() && *s != 0.0)
+    }
+
     /// Standardizes one row into the provided buffer.
     ///
     /// This sits on the prediction hot path (both the reference and the
@@ -97,6 +104,12 @@ impl TargetScaler {
     /// Maps a model output back to the original target scale.
     pub fn inverse(&self, v: f64) -> f64 {
         v * self.std + self.mean
+    }
+
+    /// True when the fitted mean and (non-zero) std are finite — part of
+    /// the snapshot finite-weights validation.
+    pub fn is_finite(&self) -> bool {
+        self.mean.is_finite() && self.std.is_finite() && self.std != 0.0
     }
 }
 

@@ -398,6 +398,21 @@ impl SvrModel {
     pub fn n_support_vectors(&self) -> usize {
         self.support_vectors.len()
     }
+
+    /// True when every learned parameter (bias, coefficients, support
+    /// vectors, kernel width, scalers) is finite — the registry's snapshot
+    /// validation gate.
+    pub fn weights_finite(&self) -> bool {
+        self.bias.is_finite()
+            && self.gamma.is_finite()
+            && self.coefficients.iter().all(|c| c.is_finite())
+            && self
+                .support_vectors
+                .iter()
+                .all(|sv| sv.iter().all(|v| v.is_finite()))
+            && self.x_scaler.is_finite()
+            && self.y_scaler.is_finite()
+    }
 }
 
 #[cfg(test)]

@@ -16,8 +16,16 @@ cargo test -q --test parallel_determinism
 echo "==> cargo test -q --test batch_determinism"
 cargo test -q --test batch_determinism
 
-echo "==> cargo clippy --all-targets -- -D warnings"
-cargo clippy --all-targets -- -D warnings
+echo "==> cargo test -q --test drift_recovery"
+cargo test -q --test drift_recovery
+
+echo "==> cargo test -q -p qpp-core registry materialize monitor"
+cargo test -q -p qpp-core registry
+cargo test -q -p qpp-core materialize
+cargo test -q -p qpp-core monitor
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
