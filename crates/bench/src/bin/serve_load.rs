@@ -1,0 +1,272 @@
+//! Load generator for the serving front-end, in three phases:
+//!
+//! A. **Identity** — every method served through the full queue/worker
+//!    pipeline, checked bit-identical against calling the predictor
+//!    directly (the coalesced batch path must be value-transparent).
+//! B. **Closed loop** — N client threads issuing back-to-back requests;
+//!    measures sustainable throughput and per-endpoint latency quantiles.
+//! C. **Open loop overload** — bursty seeded arrivals at ~4x the injected
+//!    service rate against a bounded queue and a deadline; measures the
+//!    shed fraction, deadline misses, tier degradation, and the p99 of
+//!    what was accepted.
+//!
+//! Prints a narrative to stderr and writes `BENCH_serve.json`
+//! (optd-style `{name, value, unit}` entries).
+//!
+//! Usage: `serve_load [OUT_PATH] [--per-template N] [--clients N]`
+
+use engine::faults::{ArrivalPattern, ServeFaultPlan};
+use engine::{Catalog, Simulator};
+use qpp::{ExecutedQuery, Method, ModelRegistry, PlanOrdering, QppConfig, QppPredictor, QueryDataset};
+use serve::{Endpoint, PredictionServer, ServeConfig, TierCosts, ENDPOINTS};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tpch::Workload;
+
+const TEMPLATES: &[u8] = &[1, 3, 6, 14];
+const METHODS: [Method; 3] = [
+    Method::PlanLevel,
+    Method::OperatorLevel,
+    Method::Hybrid(PlanOrdering::ErrorBased),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let flag = |name: &str, default: f64| -> f64 {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let per_template = flag("--per-template", 8.0) as usize;
+    let clients = flag("--clients", 8.0) as usize;
+
+    eprintln!("== setup: collect + train + registry ==");
+    let catalog = Catalog::new(0.1, 1);
+    let workload = Workload::generate(TEMPLATES, per_template, 0.1, 7);
+    let ds = QueryDataset::execute(&catalog, &workload, &Simulator::new(), 11, f64::INFINITY);
+    let refs: Vec<&ExecutedQuery> = ds.queries.iter().collect();
+    let t0 = Instant::now();
+    let predictor = QppPredictor::train(&refs, QppConfig::default()).expect("training");
+    eprintln!("   trained on {} queries in {:?}", refs.len(), t0.elapsed());
+    let dir = std::env::temp_dir().join(format!("qpp-serve-load-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = Arc::new(
+        ModelRegistry::create(&dir, predictor, QppConfig::default()).expect("registry create"),
+    );
+    let queries: Vec<Arc<ExecutedQuery>> = ds.queries.iter().cloned().map(Arc::new).collect();
+
+    // -- Phase A: bit-identity through the serving pipeline ------------
+    eprintln!("== phase A: serve-vs-direct bit identity ==");
+    let direct = registry.current();
+    let server = PredictionServer::start(
+        Arc::clone(&registry),
+        ServeConfig {
+            workers: Some(1),
+            ..ServeConfig::default()
+        },
+    );
+    let mut verified = 0u64;
+    for method in METHODS {
+        let pending: Vec<_> = queries
+            .iter()
+            .map(|q| server.submit(Arc::clone(q), method, None).expect("submit"))
+            .collect();
+        for (q, p) in queries.iter().zip(pending) {
+            let got = p.wait().expect("identity predict");
+            let want = direct.predict_checked(q, method);
+            assert_eq!(
+                got.value.to_bits(),
+                want.value.to_bits(),
+                "serving pipeline diverged from direct prediction"
+            );
+            verified += 1;
+        }
+    }
+    let a_batches = server.stats();
+    eprintln!(
+        "   {verified} served results bit-identical (largest coalesced batch {})",
+        a_batches.largest_batch
+    );
+    drop(server);
+
+    // -- Phase B: closed-loop throughput -------------------------------
+    eprintln!("== phase B: closed loop, {clients} clients ==");
+    let server = Arc::new(PredictionServer::start(
+        Arc::clone(&registry),
+        ServeConfig::default(),
+    ));
+    let per_client = 200usize;
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let server = Arc::clone(&server);
+            let queries = &queries;
+            s.spawn(move || {
+                for i in 0..per_client {
+                    let q = &queries[(c * 7 + i) % queries.len()];
+                    let method = METHODS[(c + i) % METHODS.len()];
+                    server
+                        .predict(Arc::clone(q), method, None)
+                        .expect("closed-loop predict");
+                }
+            });
+        }
+    });
+    let closed_wall = t0.elapsed().as_secs_f64();
+    let closed = server.stats();
+    let closed_rps = closed.served as f64 / closed_wall;
+    eprintln!(
+        "   {} served in {closed_wall:.3}s = {closed_rps:.0} rps (largest batch {})",
+        closed.served, closed.largest_batch
+    );
+    drop(server);
+
+    // -- Phase C: open-loop bursty overload ----------------------------
+    eprintln!("== phase C: open loop, bursty arrivals at ~4x service rate ==");
+    // ~2 ms injected stall per (max_batch=1) request caps one worker near
+    // 500 rps; two workers near 1000 rps. Arrivals push 4000 rps.
+    let service_stall = 0.002;
+    let deadline = Duration::from_millis(40);
+    let server = Arc::new(PredictionServer::start(
+        Arc::clone(&registry),
+        ServeConfig {
+            workers: Some(2),
+            queue_capacity: 16,
+            max_batch: 1,
+            default_deadline: Some(deadline),
+            // Inflated cost estimates make degradation visible at this
+            // deadline scale: a fresh 40 ms budget affords the hybrid,
+            // a queue-aged one only the cheaper tiers.
+            tier_costs: TierCosts([0.02, 0.008, 0.002, 1e-5, 0.0]),
+            faults: ServeFaultPlan {
+                stall_prob: 1.0,
+                stall_secs: service_stall,
+                slow_consumer_prob: 0.1,
+                seed: 9,
+            },
+            ..ServeConfig::default()
+        },
+    ));
+    let n = 800usize;
+    let rate = 4000.0;
+    let offsets = ArrivalPattern::Bursty {
+        burst: 16,
+        seed: 42,
+    }
+    .arrival_offsets(n, rate);
+    let t0 = Instant::now();
+    let mut pending = Vec::new();
+    let mut shed = 0u64;
+    for (i, off) in offsets.iter().enumerate() {
+        let target = Duration::from_secs_f64(*off);
+        if let Some(wait) = target.checked_sub(t0.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        match server.submit(
+            Arc::clone(&queries[i % queries.len()]),
+            Method::Hybrid(PlanOrdering::ErrorBased),
+            None,
+        ) {
+            Ok(p) => pending.push(p),
+            Err(_) => shed += 1,
+        }
+    }
+    let mut served_ok = 0u64;
+    let mut missed = 0u64;
+    for p in pending {
+        match p.wait() {
+            Ok(_) => served_ok += 1,
+            Err(_) => missed += 1,
+        }
+    }
+    let over = server.stats();
+    let shed_fraction = over.shed() as f64 / over.submitted as f64;
+    let hybrid = over.endpoint(Endpoint::Hybrid);
+    eprintln!(
+        "   submitted {} | shed {} ({:.0}%) | served {served_ok} | missed {missed} | degraded {}",
+        over.submitted,
+        over.shed(),
+        shed_fraction * 100.0,
+        over.degraded
+    );
+    eprintln!(
+        "   accepted p50 {:.2} ms, p99 {:.2} ms (deadline {:.0} ms), stalls {}",
+        hybrid.p50_secs * 1e3,
+        hybrid.p99_secs * 1e3,
+        deadline.as_secs_f64() * 1e3,
+        over.stalls_injected
+    );
+    assert_eq!(over.shed(), shed, "submitter and stats disagree on sheds");
+    assert_eq!(
+        over.served + over.deadline_missed + over.shed(),
+        over.submitted,
+        "every request accounted exactly once"
+    );
+    assert!(
+        hybrid.p99_secs <= deadline.as_secs_f64(),
+        "accepted p99 blew the deadline"
+    );
+    drop(server);
+
+    let entry = |name: &str, value: f64, unit: &str| {
+        serde_json::json!({ "name": name, "value": value, "unit": unit })
+    };
+    let mut benches = vec![
+        entry("identity/requests_verified", verified as f64, "requests"),
+        entry("closed/throughput", closed_rps, "rps"),
+        entry("closed/wall", closed_wall, "s"),
+        entry(
+            "closed/largest_batch",
+            closed.largest_batch as f64,
+            "requests",
+        ),
+        entry("over/submitted", over.submitted as f64, "requests"),
+        entry("over/shed_fraction", shed_fraction, "fraction"),
+        entry("over/served", over.served as f64, "requests"),
+        entry(
+            "over/deadline_missed",
+            over.deadline_missed as f64,
+            "requests",
+        ),
+        entry("over/degraded", over.degraded as f64, "requests"),
+        entry("over/stalls_injected", over.stalls_injected as f64, "stalls"),
+        entry("over/accepted_p50", hybrid.p50_secs * 1e3, "ms"),
+        entry("over/accepted_p99", hybrid.p99_secs * 1e3, "ms"),
+    ];
+    for e in ENDPOINTS {
+        let s = closed.endpoint(e);
+        if s.count > 0 {
+            benches.push(entry(
+                &format!("closed/{}_p50", e.name()),
+                s.p50_secs * 1e3,
+                "ms",
+            ));
+            benches.push(entry(
+                &format!("closed/{}_p99", e.name()),
+                s.p99_secs * 1e3,
+                "ms",
+            ));
+        }
+    }
+    let doc = serde_json::json!({
+        "tool": "serve_load",
+        "templates": TEMPLATES,
+        "per_template": per_template,
+        "clients": clients,
+        "overload_rate_rps": rate,
+        "service_stall_secs": service_stall,
+        "deadline_ms": deadline.as_secs_f64() * 1e3,
+        "benches": benches,
+    });
+    let rendered = serde_json::to_string_pretty(&doc).expect("serialize bench report");
+    std::fs::write(&out_path, rendered + "\n").expect("write bench report");
+    println!("{out_path}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

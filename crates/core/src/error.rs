@@ -27,6 +27,21 @@ pub enum QppError {
     /// the rendered `std::io::Error`, which is neither `Clone` nor
     /// `PartialEq` and so cannot be stored directly).
     Io(String),
+    /// The prediction service refused the request at admission: its
+    /// bounded queue (or rate limiter) is saturated and accepting the
+    /// request would only grow latency unboundedly. Clients should back
+    /// off and retry; the request was never queued.
+    Overloaded {
+        /// Serving queue depth observed at the rejection.
+        queue_depth: usize,
+    },
+    /// The request's deadline expired before any prediction tier — even
+    /// the constant training prior — could answer within the remaining
+    /// budget.
+    DeadlineExceeded {
+        /// The total budget the request arrived with, in seconds.
+        budget_secs: f64,
+    },
     /// An internal invariant was violated (the message names it).
     Internal(&'static str),
 }
@@ -41,6 +56,14 @@ impl std::fmt::Display for QppError {
                 write!(f, "invalid model snapshot: {reason}")
             }
             QppError::Io(msg) => write!(f, "registry I/O failed: {msg}"),
+            QppError::Overloaded { queue_depth } => write!(
+                f,
+                "prediction service overloaded (queue depth {queue_depth}); request shed at admission"
+            ),
+            QppError::DeadlineExceeded { budget_secs } => write!(
+                f,
+                "request deadline exceeded (budget was {budget_secs:.3} s)"
+            ),
             QppError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }
@@ -85,5 +108,18 @@ mod tests {
         let snap = QppError::InvalidSnapshot("checksum mismatch".to_string());
         assert!(snap.to_string().contains("checksum mismatch"));
         assert!(snap.source().is_none());
+    }
+
+    #[test]
+    fn serving_errors_display_and_compare() {
+        let over = QppError::Overloaded { queue_depth: 128 };
+        assert!(over.to_string().contains("overloaded"));
+        assert!(over.to_string().contains("128"));
+        assert_eq!(over, QppError::Overloaded { queue_depth: 128 });
+        assert!(over.source().is_none());
+        let late = QppError::DeadlineExceeded { budget_secs: 0.25 };
+        assert!(late.to_string().contains("deadline"));
+        assert!(late.to_string().contains("0.250"));
+        assert_eq!(late.clone(), late);
     }
 }

@@ -53,12 +53,15 @@ pub use error::QppError;
 pub use features::{plan_features, FeatureSource, NodeView};
 pub use hybrid::{train_hybrid, HybridConfig, HybridModel, PlanOrdering};
 pub use materialize::MaterializedModels;
-pub use monitor::{DriftMonitor, ModelHealth, MonitorConfig, TierState};
+pub use monitor::{DriftMonitor, ModelHealth, MonitorConfig, SloRecorder, TierState};
 pub use online::{OnlineConfig, OnlinePredictor};
 pub use op_model::{OpLevelModel, OpModelConfig};
 pub use plan_model::{PlanLevelModel, PlanModelConfig, PredictBuffers, TargetMetric};
 pub use pred_cache::{PredictionCache, PredictionCacheStats, SubplanPredKey};
-pub use predictor::{Method, Prediction, PredictionTier, QppConfig, QppPredictor};
+pub use predictor::{
+    tier_rank, Method, Prediction, PredictionTier, QppConfig, QppPredictor, ALL_TIERS,
+    MODEL_TIERS,
+};
 pub use progressive::{observations_at, predict_progressive, predict_progressive_at};
 pub use registry::{
     decode_snapshot, encode_snapshot, ModelRegistry, PromotionReport, RetrainConfig,

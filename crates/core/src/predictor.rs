@@ -116,6 +116,38 @@ pub const MODEL_TIERS: [PredictionTier; 3] = [
     PredictionTier::PlanLevel,
 ];
 
+/// Every tier of the degradation chain, most expensive (and most accurate)
+/// first. The serving layer maps deadline budgets onto this order: the
+/// deeper the entry point, the cheaper the answer.
+pub const ALL_TIERS: [PredictionTier; 5] = [
+    PredictionTier::Hybrid,
+    PredictionTier::OperatorLevel,
+    PredictionTier::PlanLevel,
+    PredictionTier::CostScaling,
+    PredictionTier::TrainingPrior,
+];
+
+/// Position of a tier in the degradation chain (0 = Hybrid … 4 =
+/// TrainingPrior). Larger ranks are cheaper and less accurate.
+pub fn tier_rank(tier: PredictionTier) -> usize {
+    ALL_TIERS
+        .iter()
+        .position(|t| *t == tier)
+        .expect("ALL_TIERS covers every tier")
+}
+
+impl Method {
+    /// The learned tier this method natively resolves to — where the
+    /// degradation chain starts for the method.
+    pub fn tier(self) -> PredictionTier {
+        match self {
+            Method::Hybrid(_) => PredictionTier::Hybrid,
+            Method::OperatorLevel => PredictionTier::OperatorLevel,
+            Method::PlanLevel => PredictionTier::PlanLevel,
+        }
+    }
+}
+
 fn is_sane(v: f64) -> bool {
     v.is_finite() && v >= 0.0
 }
@@ -222,12 +254,23 @@ impl QppPredictor {
     /// scaling needs only a finite optimizer estimate, and the training
     /// prior is a constant.
     pub fn predict_checked(&self, query: &ExecutedQuery, method: Method) -> Prediction {
-        let start = match method {
-            Method::Hybrid(_) => 0,
-            Method::OperatorLevel => 1,
-            Method::PlanLevel => 2,
-        };
-        let requested = MODEL_TIERS[start];
+        self.predict_checked_from(query, method.tier())
+    }
+
+    /// [`QppPredictor::predict_checked`] with an explicit entry point into
+    /// the degradation chain: the walk starts at `start` instead of a
+    /// method's native tier, so a caller under a latency budget (the
+    /// serving layer) can skip tiers it cannot afford. `degraded` is
+    /// reported relative to `start`. Passing a fallback tier
+    /// ([`PredictionTier::CostScaling`] / [`PredictionTier::TrainingPrior`])
+    /// bypasses the learned models entirely.
+    pub fn predict_checked_from(&self, query: &ExecutedQuery, start: PredictionTier) -> Prediction {
+        self.chain(query, tier_rank(start), start)
+    }
+
+    /// Walks the chain from rank `start` (an index into [`ALL_TIERS`]),
+    /// reporting `degraded` relative to `requested`.
+    fn chain(&self, query: &ExecutedQuery, start: usize, requested: PredictionTier) -> Prediction {
         // Features-finite checks, cached per source (Estimated / Actual).
         let mut cache = [None::<bool>; 2];
         let mut features_ok = |src: FeatureSource| -> bool {
@@ -268,22 +311,82 @@ impl QppPredictor {
             }
             self.breakers[i].fetch_add(1, Ordering::Relaxed);
         }
-        let cost = query.plan.est.total_cost;
-        if cost.is_finite() && cost >= 0.0 {
-            let value = cost * self.secs_per_cost;
-            if is_sane(value) {
-                return Prediction {
-                    value,
-                    method_used: PredictionTier::CostScaling,
-                    degraded: true,
-                };
+        if start <= tier_rank(PredictionTier::CostScaling) {
+            let cost = query.plan.est.total_cost;
+            if cost.is_finite() && cost >= 0.0 {
+                let value = cost * self.secs_per_cost;
+                if is_sane(value) {
+                    return Prediction {
+                        value,
+                        method_used: PredictionTier::CostScaling,
+                        degraded: requested != PredictionTier::CostScaling,
+                    };
+                }
             }
         }
         Prediction {
             value: self.prior_latency,
             method_used: PredictionTier::TrainingPrior,
-            degraded: true,
+            degraded: requested != PredictionTier::TrainingPrior,
         }
+    }
+
+    /// Batched [`QppPredictor::predict_checked`]: the entry tier is
+    /// evaluated through its `predict_batch` path (the hybrid tier through
+    /// the shared sub-plan memo `cache`), and only queries the entry tier
+    /// cannot serve — corrupted features, an open breaker, an insane
+    /// output — fall back to the per-query chain walk. Results are in
+    /// input order and bit-identical to a serial
+    /// [`QppPredictor::predict_checked`] loop, because every batch path is
+    /// bit-identical to its single-query counterpart.
+    pub fn predict_checked_batch_cached(
+        &self,
+        queries: &[&ExecutedQuery],
+        method: Method,
+        cache: &crate::pred_cache::PredictionCache,
+    ) -> Vec<Prediction> {
+        let start = method.tier();
+        let i = tier_rank(start);
+        debug_assert!(i < MODEL_TIERS.len());
+        if self.breakers[i].load(Ordering::Relaxed) >= self.config.breaker_threshold {
+            // The whole entry tier is out: every query takes the same
+            // walk, which skips the open breaker consistently.
+            return queries
+                .iter()
+                .map(|q| self.predict_checked_from(q, start))
+                .collect();
+        }
+        let values = match start {
+            PredictionTier::Hybrid => self.hybrid.predict_batch_cached(queries, cache),
+            PredictionTier::OperatorLevel => self.op_level.predict_batch(queries),
+            _ => self.plan_level.predict_batch(queries),
+        };
+        let source = match start {
+            PredictionTier::PlanLevel => self.plan_level.source(),
+            _ => self.op_level.source(),
+        };
+        queries
+            .iter()
+            .zip(values)
+            .map(|(q, value)| {
+                let views = q.views(source);
+                let finite = plan_features(&q.plan, &views).iter().all(|v| v.is_finite());
+                if finite && is_sane(value) {
+                    self.breakers[i].store(0, Ordering::Relaxed);
+                    return Prediction {
+                        value,
+                        method_used: start,
+                        degraded: false,
+                    };
+                }
+                if finite {
+                    // The model produced garbage from clean inputs:
+                    // advance the breaker exactly like the single path.
+                    self.breakers[i].fetch_add(1, Ordering::Relaxed);
+                }
+                self.chain(q, i + 1, start)
+            })
+            .collect()
     }
 
     /// True when the given learned tier's circuit breaker is open (always
@@ -506,5 +609,84 @@ mod tests {
         for tier in MODEL_TIERS {
             assert!(!qpp.breaker_tripped(tier));
         }
+    }
+
+    #[test]
+    fn predict_checked_from_enters_the_chain_at_any_tier() {
+        let ds = dataset();
+        let refs: Vec<&ExecutedQuery> = ds.queries.iter().collect();
+        let qpp = QppPredictor::train(&refs, QppConfig::default()).unwrap();
+        let q = refs[0];
+        // Entering at a learned tier matches predict_checked for the
+        // corresponding method.
+        for (tier, method) in [
+            (PredictionTier::Hybrid, Method::Hybrid(PlanOrdering::ErrorBased)),
+            (PredictionTier::OperatorLevel, Method::OperatorLevel),
+            (PredictionTier::PlanLevel, Method::PlanLevel),
+        ] {
+            let a = qpp.predict_checked_from(q, tier);
+            let b = qpp.predict_checked(q, method);
+            assert_eq!(a.value.to_bits(), b.value.to_bits());
+            assert_eq!(a.method_used, b.method_used);
+        }
+        // Entering at the fallback tiers bypasses the models entirely.
+        let cs = qpp.predict_checked_from(q, PredictionTier::CostScaling);
+        assert_eq!(cs.method_used, PredictionTier::CostScaling);
+        assert!(!cs.degraded, "cost scaling was the requested entry");
+        assert!(is_sane(cs.value));
+        let prior = qpp.predict_checked_from(q, PredictionTier::TrainingPrior);
+        assert_eq!(prior.method_used, PredictionTier::TrainingPrior);
+        assert_eq!(prior.value, qpp.prior_latency());
+        assert!(!prior.degraded);
+    }
+
+    #[test]
+    fn checked_batch_is_bit_identical_to_the_serial_checked_loop() {
+        let ds = dataset();
+        let refs: Vec<&ExecutedQuery> = ds.queries.iter().collect();
+        let qpp = QppPredictor::train(&refs, QppConfig::default()).unwrap();
+        let cache = crate::pred_cache::PredictionCache::default();
+        for method in ALL_METHODS {
+            let serial: Vec<u64> = refs
+                .iter()
+                .map(|q| qpp.predict_checked(q, method).value.to_bits())
+                .collect();
+            let batched: Vec<u64> = qpp
+                .predict_checked_batch_cached(&refs, method, &cache)
+                .iter()
+                .map(|p| p.value.to_bits())
+                .collect();
+            assert_eq!(serial, batched, "{method:?}");
+        }
+    }
+
+    #[test]
+    fn checked_batch_degrades_per_query_on_corrupted_inputs() {
+        let ds = dataset();
+        let refs: Vec<&ExecutedQuery> = ds.queries.iter().collect();
+        let qpp = QppPredictor::train(&refs, QppConfig::default()).unwrap();
+        let mut bad = ds.queries[0].clone();
+        bad.plan.est.rows = f64::NAN;
+        let mixed: Vec<&ExecutedQuery> = vec![refs[0], &bad, refs[1]];
+        let cache = crate::pred_cache::PredictionCache::default();
+        let out =
+            qpp.predict_checked_batch_cached(&mixed, Method::Hybrid(PlanOrdering::ErrorBased), &cache);
+        assert_eq!(out[0].method_used, PredictionTier::Hybrid);
+        assert_eq!(out[2].method_used, PredictionTier::Hybrid);
+        assert_eq!(out[1].method_used, PredictionTier::CostScaling);
+        assert!(out[1].degraded);
+        assert!(is_sane(out[1].value));
+        // Corrupted inputs must not trip the entry tier's breaker.
+        assert!(!qpp.breaker_tripped(PredictionTier::Hybrid));
+    }
+
+    #[test]
+    fn tier_rank_orders_the_full_chain() {
+        for (i, t) in ALL_TIERS.iter().enumerate() {
+            assert_eq!(tier_rank(*t), i);
+        }
+        assert_eq!(Method::Hybrid(PlanOrdering::ErrorBased).tier(), PredictionTier::Hybrid);
+        assert_eq!(Method::OperatorLevel.tier(), PredictionTier::OperatorLevel);
+        assert_eq!(Method::PlanLevel.tier(), PredictionTier::PlanLevel);
     }
 }

@@ -38,6 +38,7 @@ use ml::cv::holdout;
 use ml::mean_relative_error;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Snapshot format magic + version accepted by this build.
@@ -175,6 +176,10 @@ pub struct ModelRegistry {
     config: QppConfig,
     inner: RwLock<Inner>,
     pred_cache: Arc<PredictionCache>,
+    /// Bumped on every promote/rollback. Lets long-running readers (the
+    /// serving layer, stress tests) detect that the serving predictor
+    /// changed without taking the registry lock or comparing `Arc`s.
+    generation: AtomicU64,
 }
 
 impl ModelRegistry {
@@ -195,6 +200,7 @@ impl ModelRegistry {
                 versions: Vec::new(),
             }),
             pred_cache: Arc::new(PredictionCache::default()),
+            generation: AtomicU64::new(0),
         };
         {
             let mut inner = registry.lock_write();
@@ -223,6 +229,7 @@ impl ModelRegistry {
             config,
             inner: RwLock::new(Inner { current, versions }),
             pred_cache: Arc::new(PredictionCache::default()),
+            generation: AtomicU64::new(0),
         })
     }
 
@@ -240,6 +247,14 @@ impl ModelRegistry {
     /// All validated snapshot versions on disk, ascending.
     pub fn versions(&self) -> Vec<u64> {
         self.lock_read().versions.clone()
+    }
+
+    /// Number of hot swaps (promotions and rollbacks) this registry has
+    /// performed since it was opened. Monotone; readers can poll it to
+    /// learn that [`ModelRegistry::current`] would now return a different
+    /// predictor, without taking the registry lock.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
     }
 
     /// The shared sub-plan prediction cache, cleared on every model swap.
@@ -274,6 +289,7 @@ impl ModelRegistry {
         ));
         inner.versions.push(version);
         self.pred_cache.clear();
+        self.generation.fetch_add(1, Ordering::Release);
         Ok(version)
     }
 
@@ -294,6 +310,7 @@ impl ModelRegistry {
         let dropped = inner.versions.pop().expect("len checked above");
         let _ = fs::remove_file(self.snapshot_path(dropped));
         self.pred_cache.clear();
+        self.generation.fetch_add(1, Ordering::Release);
         Ok(previous)
     }
 

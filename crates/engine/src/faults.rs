@@ -237,6 +237,136 @@ impl Default for DriftPlan {
     }
 }
 
+/// The serving-layer fault decisions for one request, fully determined by
+/// the [`ServeFaultPlan`] and the request id.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeFaultOutcome {
+    /// Seconds a worker stalls (GC pause, page fault, noisy neighbour)
+    /// before serving this request. 0.0 = no stall.
+    pub stall_secs: f64,
+    /// The client drains its reply slowly, holding the response channel
+    /// open past the service time.
+    pub slow_consumer: bool,
+}
+
+/// A seeded, deterministic fault-injection policy for the *serving* layer
+/// (the prediction front-end), mirroring [`FaultPlan`]'s contract for the
+/// execution layer: the same (plan, request id) pair always yields the
+/// same faults, so overload tests are exactly reproducible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeFaultPlan {
+    /// Probability that a worker stalls while serving a request.
+    pub stall_prob: f64,
+    /// Stall duration in seconds when a stall fires (values below 0 are
+    /// treated as 0).
+    pub stall_secs: f64,
+    /// Probability that the requesting client consumes its reply slowly.
+    pub slow_consumer_prob: f64,
+    /// Fault-stream seed, decorrelated from execution-layer fault streams.
+    pub seed: u64,
+}
+
+impl ServeFaultPlan {
+    /// A plan that injects nothing: every request is served untouched.
+    pub fn none() -> ServeFaultPlan {
+        ServeFaultPlan {
+            stall_prob: 0.0,
+            stall_secs: 0.002,
+            slow_consumer_prob: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// The fault decisions for the request identified by `request_id`.
+    /// Deterministic: the same (plan, request_id) pair always returns the
+    /// same outcome.
+    pub fn decide(&self, request_id: u64) -> ServeFaultOutcome {
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ request_id.wrapping_mul(0xA24B_AED4_963E_E407) ^ 0x5E_4FE,
+        );
+        let stall = rng.gen::<f64>() < self.stall_prob;
+        let slow = rng.gen::<f64>() < self.slow_consumer_prob;
+        ServeFaultOutcome {
+            stall_secs: if stall { self.stall_secs.max(0.0) } else { 0.0 },
+            slow_consumer: slow,
+        }
+    }
+}
+
+impl Default for ServeFaultPlan {
+    fn default() -> Self {
+        ServeFaultPlan::none()
+    }
+}
+
+/// Deterministic request-arrival processes for load generation.
+///
+/// `arrival_offsets` turns a pattern into concrete arrival times so
+/// closed-form assertions ("a burst of b requests lands inside one queue
+/// drain interval") hold exactly, run after run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalPattern {
+    /// Evenly spaced arrivals: request `i` arrives at `i / rate`.
+    Steady,
+    /// Poisson process: exponential inter-arrival times with mean
+    /// `1 / rate`, drawn from a seeded stream.
+    Poisson {
+        /// Arrival-stream seed.
+        seed: u64,
+    },
+    /// Bursts of `burst` near-simultaneous arrivals separated by idle
+    /// gaps, keeping the long-run mean rate: a burst lands every
+    /// `burst / rate` seconds, its members spread over a small fraction
+    /// of that period.
+    Bursty {
+        /// Requests per burst (values below 1 are treated as 1).
+        burst: usize,
+        /// Arrival-stream seed (intra-burst jitter).
+        seed: u64,
+    },
+}
+
+impl ArrivalPattern {
+    /// The first `n` arrival offsets in seconds from stream start, at mean
+    /// rate `rate` requests/second. Non-decreasing, non-negative, and
+    /// deterministic in (pattern, n, rate).
+    pub fn arrival_offsets(&self, n: usize, rate: f64) -> Vec<f64> {
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+        match self {
+            ArrivalPattern::Steady => (0..n).map(|i| i as f64 / rate).collect(),
+            ArrivalPattern::Poisson { seed } => {
+                let mut rng = StdRng::seed_from_u64(*seed ^ 0xA8_817);
+                let mut t = 0.0;
+                let mut out = Vec::with_capacity(n);
+                for _ in 0..n {
+                    out.push(t);
+                    let u: f64 = rng.gen();
+                    t += -(1.0 - u).max(1e-12).ln() / rate;
+                }
+                out
+            }
+            ArrivalPattern::Bursty { burst, seed } => {
+                let burst = (*burst).max(1);
+                let period = burst as f64 / rate;
+                // Members of one burst spread over 1% of the burst period,
+                // jittered so they are not exactly simultaneous.
+                let spread = period * 0.01;
+                let mut rng = StdRng::seed_from_u64(*seed ^ 0xB5_257);
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    let b = i / burst;
+                    let jitter: f64 = rng.gen();
+                    out.push(b as f64 * period + jitter * spread);
+                }
+                // Jitter can reorder members within a burst; restore the
+                // global non-decreasing contract without crossing bursts.
+                out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                out
+            }
+        }
+    }
+}
+
 fn shift_node(node: &mut PlanNode, factor: f64, rng: &mut StdRng) {
     // ±10% jitter around the systematic shift keeps nodes decorrelated
     // without hiding the drift signal.
@@ -434,6 +564,95 @@ mod tests {
         for (o, s) in original.preorder().iter().zip(a.preorder()) {
             assert!(s.est.rows >= o.est.rows, "rows shrank");
         }
+    }
+
+    #[test]
+    fn serve_faults_are_deterministic_and_none_is_inert() {
+        let none = ServeFaultPlan::none();
+        for id in 0..200 {
+            let o = none.decide(id);
+            assert_eq!(o.stall_secs, 0.0);
+            assert!(!o.slow_consumer);
+        }
+        let plan = ServeFaultPlan {
+            stall_prob: 0.5,
+            stall_secs: 0.004,
+            slow_consumer_prob: 0.25,
+            seed: 7,
+        };
+        for id in 0..50 {
+            assert_eq!(plan.decide(id), plan.decide(id));
+        }
+    }
+
+    #[test]
+    fn serve_fault_rates_match_probabilities() {
+        let plan = ServeFaultPlan {
+            stall_prob: 0.3,
+            stall_secs: 0.002,
+            slow_consumer_prob: 0.1,
+            seed: 11,
+        };
+        let n = 4000;
+        let mut stalls = 0;
+        let mut slow = 0;
+        for id in 0..n {
+            let o = plan.decide(id);
+            if o.stall_secs > 0.0 {
+                stalls += 1;
+                assert_eq!(o.stall_secs, 0.002);
+            }
+            slow += o.slow_consumer as usize;
+        }
+        let frac = |k: usize| k as f64 / n as f64;
+        assert!((frac(stalls) - 0.3).abs() < 0.03, "stalls {}", frac(stalls));
+        assert!((frac(slow) - 0.1).abs() < 0.03, "slow {}", frac(slow));
+    }
+
+    #[test]
+    fn arrival_offsets_are_sorted_deterministic_and_hold_the_mean_rate() {
+        let n = 2000;
+        let rate = 500.0;
+        for pattern in [
+            ArrivalPattern::Steady,
+            ArrivalPattern::Poisson { seed: 42 },
+            ArrivalPattern::Bursty { burst: 32, seed: 42 },
+        ] {
+            let a = pattern.arrival_offsets(n, rate);
+            let b = pattern.arrival_offsets(n, rate);
+            assert_eq!(a, b, "{pattern:?} must be deterministic");
+            assert_eq!(a.len(), n);
+            assert!(a[0] >= 0.0);
+            for w in a.windows(2) {
+                assert!(w[1] >= w[0], "{pattern:?} offsets must be sorted");
+            }
+            // Long-run mean rate within 15% of nominal.
+            let span = a[n - 1].max(1e-9);
+            let achieved = (n - 1) as f64 / span;
+            assert!(
+                (achieved / rate - 1.0).abs() < 0.15,
+                "{pattern:?} rate {achieved} vs nominal {rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn bursty_arrivals_actually_burst() {
+        let rate = 1000.0;
+        let steady = ArrivalPattern::Steady.arrival_offsets(256, rate);
+        let bursty =
+            ArrivalPattern::Bursty { burst: 64, seed: 3 }.arrival_offsets(256, rate);
+        let max_gap = |xs: &[f64]| {
+            xs.windows(2)
+                .map(|w| w[1] - w[0])
+                .fold(0.0f64, f64::max)
+        };
+        // The inter-burst gap dwarfs any steady-state spacing, and the
+        // intra-burst spacing is far tighter than steady spacing.
+        assert!(max_gap(&bursty) > 10.0 * max_gap(&steady));
+        let intra: Vec<f64> = bursty[..64].windows(2).map(|w| w[1] - w[0]).collect();
+        let mean_intra = intra.iter().sum::<f64>() / intra.len() as f64;
+        assert!(mean_intra < (1.0 / rate) * 0.25, "mean intra {mean_intra}");
     }
 
     #[test]

@@ -56,6 +56,20 @@ pub fn set_threads(n: usize) {
     THREAD_OVERRIDE.store(if n == 0 { NO_OVERRIDE } else { n }, Ordering::Relaxed);
 }
 
+/// Resolves a requested worker count for a long-lived pool against the
+/// process-wide setting: `None` or `Some(0)` defer to [`threads`] (which
+/// honours `QPP_THREADS` and [`set_threads`]); an explicit request is
+/// taken as-is. Always ≥ 1.
+///
+/// Shared by the training fan-outs and the serving worker pool so one
+/// knob sizes every thread pool in the process.
+pub fn resolve_workers(requested: Option<usize>) -> usize {
+    match requested {
+        Some(n) if n >= 1 => n,
+        _ => threads(),
+    }
+}
+
 /// Order-preserving parallel map over a slice: returns
 /// `items.iter().enumerate().map(|(i, t)| f(i, t))` collected in input
 /// order, computed on up to [`threads`] workers.
@@ -174,6 +188,14 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(par_map(&empty, |_, &v| v).is_empty());
         assert_eq!(par_map(&[7u32], |_, &v| v + 1), vec![8]);
+    }
+
+    #[test]
+    fn resolve_workers_defers_to_global_setting() {
+        assert_eq!(resolve_workers(Some(3)), 3);
+        assert_eq!(resolve_workers(Some(1)), 1);
+        assert_eq!(resolve_workers(None), threads());
+        assert_eq!(resolve_workers(Some(0)), threads());
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Deadline propagation and budget-driven tier selection.
+//!
+//! Every request may carry a latency budget. The worker that picks it up
+//! measures what is left of that budget and chooses the *most accurate*
+//! prediction tier it can still afford, walking the PR-1 degradation
+//! chain (Hybrid → OperatorLevel → PlanLevel → CostScaling →
+//! TrainingPrior) in order. A request whose budget cannot even afford the
+//! constant training prior is answered with
+//! [`qpp::QppError::DeadlineExceeded`] instead of being served late —
+//! under overload, a fast degraded answer or an honest refusal both beat
+//! a late accurate one (the paper's admission-control use case, Section
+//! 1, is worthless after the admission decision was due).
+
+use qpp::{tier_rank, PredictionTier, ALL_TIERS};
+
+/// Estimated per-request service cost of each tier, in seconds, indexed
+/// by [`tier_rank`]. Costs must be non-increasing along the chain — the
+/// whole point of degrading is that deeper tiers are cheaper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierCosts(pub [f64; 5]);
+
+impl TierCosts {
+    /// Rough defaults measured on the simulator-backed models: hybrid
+    /// inference dominates, the analytical fallbacks are near-free.
+    pub fn default_estimates() -> TierCosts {
+        TierCosts([5e-4, 2e-4, 5e-5, 1e-6, 1e-7])
+    }
+
+    /// All-zero costs: every tier is always affordable, so deadlines only
+    /// reject requests that are already past due when dequeued.
+    pub fn zero() -> TierCosts {
+        TierCosts([0.0; 5])
+    }
+
+    /// The estimated cost of one tier.
+    pub fn cost(&self, tier: PredictionTier) -> f64 {
+        self.0[tier_rank(tier)]
+    }
+}
+
+impl Default for TierCosts {
+    fn default() -> Self {
+        TierCosts::default_estimates()
+    }
+}
+
+/// The most accurate tier affordable within `remaining_secs`, or `None`
+/// when no tier fits (the request must be refused as past-deadline).
+/// Walks [`ALL_TIERS`] most-accurate-first, so a generous budget picks
+/// Hybrid and a vanishing one falls through to the training prior.
+pub fn tier_for_budget(remaining_secs: f64, costs: &TierCosts) -> Option<PredictionTier> {
+    if !(remaining_secs > 0.0) {
+        return None;
+    }
+    ALL_TIERS
+        .iter()
+        .copied()
+        .find(|t| costs.cost(*t) <= remaining_secs)
+}
+
+/// The tier a request enters the chain at: the deeper (cheaper) of the
+/// tier it asked for and the best tier its remaining budget affords.
+/// `None` when even the cheapest tier is unaffordable.
+pub fn entry_tier(
+    requested: PredictionTier,
+    remaining_secs: f64,
+    costs: &TierCosts,
+) -> Option<PredictionTier> {
+    let affordable = tier_for_budget(remaining_secs, costs)?;
+    if tier_rank(affordable) > tier_rank(requested) {
+        Some(affordable)
+    } else {
+        Some(requested)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpp::PredictionTier::*;
+
+    const COSTS: TierCosts = TierCosts([1.0, 0.1, 0.01, 0.001, 0.0]);
+
+    #[test]
+    fn shrinking_budgets_walk_the_tier_chain_in_order() {
+        // Each budget decade strips exactly one tier.
+        assert_eq!(tier_for_budget(10.0, &COSTS), Some(Hybrid));
+        assert_eq!(tier_for_budget(0.5, &COSTS), Some(OperatorLevel));
+        assert_eq!(tier_for_budget(0.05, &COSTS), Some(PlanLevel));
+        assert_eq!(tier_for_budget(0.005, &COSTS), Some(CostScaling));
+        assert_eq!(tier_for_budget(0.0005, &COSTS), Some(TrainingPrior));
+    }
+
+    #[test]
+    fn exhausted_or_garbage_budgets_refuse() {
+        assert_eq!(tier_for_budget(0.0, &COSTS), None);
+        assert_eq!(tier_for_budget(-1.0, &COSTS), None);
+        assert_eq!(tier_for_budget(f64::NAN, &COSTS), None);
+        // With a floor cost above the budget, even the prior is refused.
+        let floored = TierCosts([1.0, 0.5, 0.2, 0.1, 0.05]);
+        assert_eq!(tier_for_budget(0.01, &floored), None);
+    }
+
+    #[test]
+    fn entry_tier_never_upgrades_a_request() {
+        // A PlanLevel request with a lavish budget stays PlanLevel.
+        assert_eq!(entry_tier(PlanLevel, 100.0, &COSTS), Some(PlanLevel));
+        // But a Hybrid request on a tight budget degrades.
+        assert_eq!(entry_tier(Hybrid, 0.05, &COSTS), Some(PlanLevel));
+        assert_eq!(entry_tier(Hybrid, 0.0005, &COSTS), Some(TrainingPrior));
+        assert_eq!(entry_tier(Hybrid, 0.0, &COSTS), None);
+    }
+
+    #[test]
+    fn zero_costs_always_afford_the_requested_tier() {
+        let z = TierCosts::zero();
+        for t in ALL_TIERS {
+            assert_eq!(entry_tier(t, 1e-9, &z), Some(t));
+        }
+        assert_eq!(entry_tier(Hybrid, 0.0, &z), None, "expired is still expired");
+    }
+
+    #[test]
+    fn default_estimates_are_non_increasing() {
+        let d = TierCosts::default();
+        for w in d.0.windows(2) {
+            assert!(w[0] >= w[1], "tier costs must not increase along the chain");
+        }
+    }
+}

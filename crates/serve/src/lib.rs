@@ -1,0 +1,41 @@
+//! Overload-resilient prediction serving.
+//!
+//! The paper motivates query performance prediction with *on-line*
+//! decisions — admission control, query scheduling, workload routing
+//! (Section 1). Those place the predictor on the critical path of a live
+//! system, where request rates spike past service capacity and every
+//! caller has a latency budget of its own. This crate is the serving
+//! front-end for that regime, layered over the hot-swap
+//! [`qpp::ModelRegistry`]:
+//!
+//! - [`queue`] — bounded MPMC request queue; full queues reject
+//!   synchronously (backpressure) instead of growing latency unboundedly.
+//! - [`admission`] — token-bucket rate limiting and queue-depth load
+//!   shedding over explicit virtual time, so shed fractions are exactly
+//!   reproducible from seeded arrival streams.
+//! - [`deadline`] — per-request budgets mapped onto the five-tier
+//!   degradation chain: a request that cannot afford its asked-for tier
+//!   is served by the best tier its remaining budget covers.
+//! - [`stats`] — per-endpoint SLO accounting (log-bucketed latency
+//!   quantiles, shed / deadline-miss / degraded-tier counters).
+//! - [`server`] — the worker pool tying it together, with request
+//!   coalescing into the compiled batch path and per-batch model
+//!   snapshots that make registry hot swaps safe under load.
+//!
+//! Under a seeded overload of 4x the service rate the server sheds and
+//! degrades deterministically instead of queueing unboundedly — see
+//! `tests/serve_overload.rs` and the `serve_load` bench binary.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod deadline;
+pub mod queue;
+pub mod server;
+pub mod stats;
+
+pub use admission::{AdmissionController, RateLimit, ShedReason, TokenBucket};
+pub use deadline::{entry_tier, tier_for_budget, TierCosts};
+pub use queue::{BoundedQueue, PushError};
+pub use server::{PendingPrediction, PredictionServer, ServeConfig};
+pub use stats::{Endpoint, ServeStats, ServeStatsSnapshot, SloSummary, ENDPOINTS};

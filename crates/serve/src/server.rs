@@ -1,0 +1,346 @@
+//! The concurrent prediction front-end.
+//!
+//! [`PredictionServer`] puts the hot-swap [`ModelRegistry`] behind a
+//! bounded queue and a worker pool, adding the four behaviours a
+//! predictor on a live system's critical path needs (Section 1's
+//! admission-control and workload-management use cases):
+//!
+//! 1. **Backpressure** — admission control (token bucket + queue-depth
+//!    shedding) rejects excess load synchronously with
+//!    [`QppError::Overloaded`] instead of queueing it unboundedly.
+//! 2. **Deadlines** — each request may carry a budget; workers enter the
+//!    degradation chain at the most accurate tier the remaining budget
+//!    affords, and refuse with [`QppError::DeadlineExceeded`] when even
+//!    the training prior cannot answer in time.
+//! 3. **Coalescing** — a worker drains up to `max_batch` queued requests
+//!    behind the first one and funnels same-method groups through the
+//!    compiled batch path, whose results are bit-identical to the serial
+//!    checked loop.
+//! 4. **Swap safety** — workers snapshot `registry.current()` per batch,
+//!    so a promote/rollback mid-flight never mixes model versions inside
+//!    one batch and never tears a single prediction.
+
+use engine::faults::ServeFaultPlan;
+use qpp::{
+    Method, ModelRegistry, Prediction, PredictionCache, QppError, QppPredictor,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::admission::{AdmissionController, RateLimit};
+use crate::deadline::{entry_tier, TierCosts};
+use crate::queue::{BoundedQueue, PushError};
+use crate::stats::{Endpoint, ServeStats, ServeStatsSnapshot};
+
+/// Serving configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads. `None` defers to the process-wide
+    /// `ml::par` setting (`QPP_THREADS` / `set_threads`), so one knob
+    /// sizes the training fan-outs and the serving pool alike.
+    pub workers: Option<usize>,
+    /// Bounded queue capacity.
+    pub queue_capacity: usize,
+    /// Queue depth at which admission starts shedding (defaults to the
+    /// queue capacity when 0).
+    pub shed_depth: usize,
+    /// Optional token-bucket rate limit at the front door.
+    pub rate_limit: Option<RateLimit>,
+    /// Most requests a worker coalesces into one batch (at least 1).
+    pub max_batch: usize,
+    /// Deadline applied to requests submitted without one. `None` means
+    /// such requests never expire.
+    pub default_deadline: Option<Duration>,
+    /// Estimated per-tier service costs driving deadline degradation.
+    pub tier_costs: TierCosts,
+    /// Serving-layer fault injection (inert by default).
+    pub faults: ServeFaultPlan,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: None,
+            queue_capacity: 256,
+            shed_depth: 0,
+            rate_limit: None,
+            max_batch: 32,
+            default_deadline: None,
+            tier_costs: TierCosts::default(),
+            faults: ServeFaultPlan::none(),
+        }
+    }
+}
+
+/// One queued prediction request.
+struct Job {
+    id: u64,
+    query: Arc<qpp::ExecutedQuery>,
+    method: Method,
+    submitted: Instant,
+    deadline: Option<Instant>,
+    budget_secs: f64,
+    reply: mpsc::Sender<Result<Prediction, QppError>>,
+}
+
+/// Handle to a submitted request; resolves to the prediction or a typed
+/// serving error.
+pub struct PendingPrediction {
+    rx: mpsc::Receiver<Result<Prediction, QppError>>,
+}
+
+impl PendingPrediction {
+    /// Blocks until the request is answered.
+    pub fn wait(self) -> Result<Prediction, QppError> {
+        self.rx
+            .recv()
+            .unwrap_or(Err(QppError::Internal("serving worker dropped the reply")))
+    }
+}
+
+/// A concurrent, overload-resilient prediction service over a hot-swap
+/// model registry. Dropping the server closes the queue, drains what was
+/// already admitted, and joins all workers.
+pub struct PredictionServer {
+    registry: Arc<ModelRegistry>,
+    queue: Arc<BoundedQueue<Job>>,
+    stats: Arc<ServeStats>,
+    admission: Mutex<AdmissionController>,
+    default_deadline: Option<Duration>,
+    started: Instant,
+    next_id: AtomicU64,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl PredictionServer {
+    /// Starts a server with `config.workers` (resolved against the
+    /// process-wide `ml::par` setting) worker threads over `registry`.
+    pub fn start(registry: Arc<ModelRegistry>, config: ServeConfig) -> PredictionServer {
+        let worker_count = ml::par::resolve_workers(config.workers);
+        let shed_depth = if config.shed_depth == 0 {
+            config.queue_capacity
+        } else {
+            config.shed_depth
+        };
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let stats = Arc::new(ServeStats::new());
+        let admission = Mutex::new(AdmissionController::new(config.rate_limit, shed_depth));
+        let max_batch = config.max_batch.max(1);
+        let workers = (0..worker_count)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let stats = Arc::clone(&stats);
+                let registry = Arc::clone(&registry);
+                let faults = config.faults.clone();
+                let tier_costs = config.tier_costs;
+                std::thread::spawn(move || {
+                    worker_loop(&queue, &stats, &registry, &faults, tier_costs, max_batch)
+                })
+            })
+            .collect();
+        PredictionServer {
+            registry,
+            queue,
+            stats,
+            admission,
+            default_deadline: config.default_deadline,
+            started: Instant::now(),
+            next_id: AtomicU64::new(0),
+            workers,
+        }
+    }
+
+    /// The registry this server predicts from.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Serving statistics snapshot.
+    pub fn stats(&self) -> ServeStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Submits a prediction request. Admission control runs synchronously
+    /// on the calling thread: an overloaded server answers
+    /// [`QppError::Overloaded`] immediately, without queueing.
+    ///
+    /// `deadline` overrides the configured default budget; `None` uses
+    /// the default (which may itself be "no deadline").
+    pub fn submit(
+        &self,
+        query: Arc<qpp::ExecutedQuery>,
+        method: Method,
+        deadline: Option<Duration>,
+    ) -> Result<PendingPrediction, QppError> {
+        self.stats.record_submitted();
+        let now = Instant::now();
+        let queue_depth = self.queue.len();
+        let decision = {
+            let mut admission = self.admission.lock().unwrap();
+            admission.admit(self.started.elapsed().as_secs_f64(), queue_depth)
+        };
+        if let Err(reason) = decision {
+            self.stats.record_shed(reason);
+            return Err(QppError::Overloaded {
+                queue_depth,
+            });
+        }
+        let budget = deadline.or(self.default_deadline);
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            query,
+            method,
+            submitted: now,
+            deadline: budget.map(|d| now + d),
+            budget_secs: budget.map_or(f64::INFINITY, |d| d.as_secs_f64()),
+            reply: tx,
+        };
+        match self.queue.try_push(job) {
+            Ok(_) => Ok(PendingPrediction {
+                rx,
+            }),
+            Err(PushError::Full(_, depth)) => {
+                // Raced past the admission check into a full queue: shed.
+                self.stats.record_shed(crate::admission::ShedReason::QueueFull);
+                Err(QppError::Overloaded {
+                    queue_depth: depth,
+                })
+            }
+            Err(PushError::Closed(_)) => Err(QppError::Internal(
+                "prediction server is shutting down",
+            )),
+        }
+    }
+
+    /// Convenience: submit and block for the answer.
+    pub fn predict(
+        &self,
+        query: Arc<qpp::ExecutedQuery>,
+        method: Method,
+        deadline: Option<Duration>,
+    ) -> Result<Prediction, QppError> {
+        self.submit(query, method, deadline)?.wait()
+    }
+
+}
+
+impl Drop for PredictionServer {
+    fn drop(&mut self) {
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            // A panicking worker would already have poisoned the run;
+            // surface it instead of hiding it.
+            if let Err(p) = handle.join() {
+                std::panic::resume_unwind(p);
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    queue: &BoundedQueue<Job>,
+    stats: &ServeStats,
+    registry: &ModelRegistry,
+    faults: &ServeFaultPlan,
+    tier_costs: TierCosts,
+    max_batch: usize,
+) {
+    while let Some(first) = queue.pop_blocking() {
+        let mut batch = vec![first];
+        queue.drain_up_to(max_batch - 1, &mut batch);
+        stats.record_batch(batch.len());
+
+        // Injected serving faults key off the first job of the batch, so
+        // a (plan, workload) pair exercises the same stalls every run.
+        let outcome = faults.decide(batch[0].id);
+        if outcome.stall_secs > 0.0 {
+            stats.record_stall();
+            std::thread::sleep(Duration::from_secs_f64(outcome.stall_secs));
+        }
+
+        // Snapshot the serving model once per batch: a concurrent
+        // promote/rollback affects the *next* batch, never a torn one.
+        let predictor = registry.current();
+        let cache = Arc::clone(registry.pred_cache());
+
+        serve_batch(batch, stats, &predictor, &cache, tier_costs);
+
+        if outcome.slow_consumer {
+            // The client side drains replies slowly; the worker is held
+            // up just like a blocking write to a saturated socket.
+            std::thread::sleep(Duration::from_secs_f64(
+                faults.stall_secs.max(0.0) * 0.5,
+            ));
+        }
+    }
+}
+
+fn serve_batch(
+    batch: Vec<Job>,
+    stats: &ServeStats,
+    predictor: &QppPredictor,
+    cache: &PredictionCache,
+    tier_costs: TierCosts,
+) {
+    let now = Instant::now();
+    // Partition: full-tier jobs are grouped per method for the batched
+    // path; degraded or expired jobs are resolved individually.
+    let mut groups: Vec<(Method, Vec<Job>)> = Vec::new();
+    for job in batch {
+        let remaining = match job.deadline {
+            Some(d) => {
+                if d <= now {
+                    refuse_expired(stats, job);
+                    continue;
+                }
+                (d - now).as_secs_f64()
+            }
+            None => f64::INFINITY,
+        };
+        let requested = job.method.tier();
+        match entry_tier(requested, remaining, &tier_costs) {
+            None => refuse_expired(stats, job),
+            Some(start) if start == requested => {
+                match groups.iter_mut().find(|(m, _)| *m == job.method) {
+                    Some((_, jobs)) => jobs.push(job),
+                    None => groups.push((job.method, vec![job])),
+                }
+            }
+            Some(start) => {
+                // Budget forces a deeper entry tier: serve individually.
+                let p = predictor.predict_checked_from(&job.query, start);
+                reply(stats, job, p);
+            }
+        }
+    }
+    for (method, jobs) in groups {
+        let queries: Vec<&qpp::ExecutedQuery> = jobs.iter().map(|j| &*j.query).collect();
+        let predictions = predictor.predict_checked_batch_cached(&queries, method, cache);
+        for (job, p) in jobs.into_iter().zip(predictions) {
+            reply(stats, job, p);
+        }
+    }
+}
+
+fn refuse_expired(stats: &ServeStats, job: Job) {
+    stats.record_deadline_miss(Endpoint::of(job.method));
+    let _ = job.reply.send(Err(QppError::DeadlineExceeded {
+        budget_secs: job.budget_secs,
+    }));
+}
+
+fn reply(stats: &ServeStats, job: Job, mut prediction: Prediction) {
+    // A request that entered below its asked-for tier is degraded even if
+    // the chain itself never fell further.
+    prediction.degraded = prediction.method_used != job.method.tier();
+    stats.record_served(
+        Endpoint::of(job.method),
+        prediction.method_used,
+        prediction.degraded,
+        job.submitted.elapsed().as_secs_f64(),
+    );
+    let _ = job.reply.send(Ok(prediction));
+}

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Reproducible benchmark run: builds the release harness and measures the
-# training pipeline (serial vs parallel) and the inference paths (reference
-# vs compiled vs batched, with bit-identity asserted in-harness), writing
-# BENCH_pr3.json (optd-style {name, value, unit} entries) at the repo root.
+# training pipeline (serial vs parallel), the inference paths (reference
+# vs compiled vs batched, with bit-identity asserted in-harness), and the
+# serving front-end under closed-loop and bursty-overload load, writing
+# BENCH_pr3.json and BENCH_serve.json (optd-style {name, value, unit}
+# entries) at the repo root.
 #
 # Usage: scripts/bench.sh [OUT_PATH] [--per-template N]
 set -euo pipefail
@@ -13,3 +15,6 @@ cargo build --release -p qpp-bench
 
 echo "==> perf_trajectory $*"
 ./target/release/perf_trajectory "$@"
+
+echo "==> serve_load"
+timeout 600 ./target/release/serve_load BENCH_serve.json

@@ -24,6 +24,14 @@ cargo test -q -p qpp-core registry
 cargo test -q -p qpp-core materialize
 cargo test -q -p qpp-core monitor
 
+# Serving-layer stress gate: the overload and hot-swap suites exercise
+# blocking queues and worker pools, so a deadlock shows up as a hang, not
+# a failure. A hard timeout turns that hang into a CI failure.
+echo "==> serve stress gate (bounded time)"
+timeout 300 cargo test -q --test serve_overload
+timeout 300 cargo test -q --test swap_under_load
+timeout 300 cargo test -q -p qpp-serve
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -1,6 +1,6 @@
 //! Facade crate for the QPP reproduction workspace.
 //!
-//! Re-exports the four library crates under stable names so the root-level
+//! Re-exports the five library crates under stable names so the root-level
 //! examples and integration tests can reach everything through one
 //! dependency:
 //!
@@ -12,10 +12,13 @@
 //!   cross-validation, metrics).
 //! - [`qpp`] — the paper's contribution (plan-level, operator-level, hybrid
 //!   and online query performance prediction).
+//! - [`serve`] — the overload-resilient serving front-end (bounded queues,
+//!   admission control, deadline-driven degradation, request coalescing).
 
 #![warn(missing_docs)]
 
 pub use engine;
 pub use ml;
 pub use qpp;
+pub use serve;
 pub use tpch;
