@@ -5,6 +5,10 @@
 //! static features must be orders of magnitude cheaper than running the
 //! query.
 
+// Offline builds may substitute a stub criterion whose `Criterion` is a
+// unit struct; `Criterion::default()` is the form that compiles on both.
+#![allow(clippy::default_constructed_unit_structs)]
+
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use engine::{Catalog, Planner, Simulator};
 use qpp::op_model::{OpLevelModel, OpModelConfig};
@@ -159,6 +163,113 @@ fn bench_subplan_index(c: &mut Criterion) {
     });
 }
 
+fn bench_arena(c: &mut Criterion) {
+    use engine::PlanArena;
+    let ds = small_dataset();
+    let plan = &ds
+        .queries
+        .iter()
+        .max_by_key(|q| q.plan.node_count())
+        .unwrap()
+        .plan;
+    // Boxed walk: what the hot path did pre-arena — recursive pre-order
+    // collection plus a per-node `node_count` and recursive hash.
+    c.bench_function("arena/boxed_hash_sizes_walk", |b| {
+        b.iter(|| {
+            let nodes = plan.preorder();
+            let hs: Vec<(u64, usize)> = nodes
+                .iter()
+                .map(|n| (qpp::structure_key(n).0, n.node_count()))
+                .collect();
+            std::hint::black_box(hs)
+        })
+    });
+    // Arena walk: one flatten, then linear postorder hashing with the
+    // sizes coming out of the flatten itself.
+    c.bench_function("arena/flatten_hash_sizes", |b| {
+        b.iter(|| {
+            let arena = PlanArena::flatten(plan);
+            let hashes = qpp::arena_structure_hashes(&arena);
+            std::hint::black_box((hashes, arena.sizes().len()))
+        })
+    });
+    let arena = PlanArena::flatten(plan);
+    c.bench_function("arena/child_cursor_full_walk", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..arena.len() {
+                for ci in arena.children(i) {
+                    acc += ci;
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+fn bench_simd_kernel(c: &mut Criterion) {
+    use ml::scaler::TargetScaler;
+    use rand::Rng;
+    // Hand-built SVR with every support vector retained (512 x the full
+    // plan-feature arity) — the same shape perf_trajectory gates on.
+    let d = qpp::features::plan_feature_count();
+    let mut rng = StdRng::seed_from_u64(0x51E9);
+    let sv: Vec<Vec<f64>> = (0..512)
+        .map(|_| (0..d).map(|_| rng.gen_range(-5.0f64..5.0)).collect())
+        .collect();
+    let coef: Vec<f64> = (0..512)
+        .map(|_| {
+            let v: f64 = rng.gen_range(0.05f64..2.0);
+            if rng.gen_bool(0.5) {
+                v
+            } else {
+                -v
+            }
+        })
+        .collect();
+    let scaler_rows: Vec<Vec<f64>> = (0..16)
+        .map(|_| (0..d).map(|_| rng.gen_range(-20.0f64..20.0)).collect())
+        .collect();
+    let x_scaler = ml::StandardScaler::fit(&ml::Dataset::from_rows(scaler_rows));
+    let y_scaler = TargetScaler::fit(&[-10.0, 0.0, 25.0]);
+    let model = ml::SvrModel::from_parts(
+        ml::Kernel::Linear,
+        0.05,
+        sv,
+        coef,
+        0.3,
+        x_scaler,
+        y_scaler,
+        d,
+    );
+    let compiled = ml::compiled::CompiledSvr::compile(&model);
+    let probes: Vec<Vec<f64>> = (0..256)
+        .map(|_| (0..d).map(|_| rng.gen_range(-6.0f64..6.0)).collect())
+        .collect();
+    let mut scratch = ml::PredictScratch::new();
+    c.bench_function("kernel/unblocked_single_row", |b| {
+        b.iter(|| std::hint::black_box(compiled.predict_into_unblocked(&probes[0], &mut scratch)))
+    });
+    c.bench_function("kernel/scalar_tree_single_row", |b| {
+        b.iter(|| std::hint::black_box(compiled.predict_into_scalar(&probes[0], &mut scratch)))
+    });
+    c.bench_function("kernel/dispatched_single_row", |b| {
+        b.iter(|| std::hint::black_box(compiled.predict_into(&probes[0], &mut scratch)))
+    });
+    c.bench_function("kernel/pair_rows", |b| {
+        b.iter(|| {
+            std::hint::black_box(compiled.predict_into_pair(&probes[0], &probes[1], &mut scratch))
+        })
+    });
+    let mut out = Vec::with_capacity(probes.len());
+    c.bench_function("kernel/batch_256", |b| {
+        b.iter(|| {
+            compiled.predict_batch_into(&probes, &mut out, &mut scratch);
+            std::hint::black_box(out.last().copied())
+        })
+    });
+}
+
 fn bench_ml(c: &mut Criterion) {
     use ml::{Dataset, Learner, LearnerKind};
     let mut rng = StdRng::seed_from_u64(4);
@@ -237,7 +348,7 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench_planner, bench_simulator, bench_features, bench_training,
               bench_prediction, bench_compiled_inference, bench_hybrid_batch,
-              bench_subplan_index, bench_ml, bench_collection,
-              bench_hybrid_build
+              bench_subplan_index, bench_arena, bench_simd_kernel, bench_ml,
+              bench_collection, bench_hybrid_build
 }
 criterion_main!(benches);

@@ -4,12 +4,13 @@
 //! of the lost accuracy the promoted model recovers.
 //!
 //! Prints a stage-by-stage narrative to stderr and writes a
-//! machine-readable JSON report (default `BENCH_drift.json`) with
-//! `{name, value, unit}` entries.
+//! machine-readable JSON report (default `BENCH_drift.json`) in the
+//! `BENCH-v1` schema (see `qpp_bench::schema`).
 //!
 //! Usage: `drift_loop [OUT_PATH] [--per-template N] [--magnitude M]`
 
 use engine::faults::{DriftKind, DriftPlan, FaultPlan};
+use qpp_bench::schema::BenchDoc;
 use engine::{Catalog, OpType, Simulator};
 use ml::mean_relative_error;
 use qpp::{
@@ -144,26 +145,25 @@ fn main() {
          (stale incumbent was {drifted_mre:.4})"
     );
 
-    let entry = |name: &str, value: f64, unit: &str| {
-        serde_json::json!({ "name": name, "value": value, "unit": unit })
-    };
-    let doc = serde_json::json!({
-        "tool": "drift_loop",
-        "templates": TEMPLATES,
-        "per_template": per_template,
-        "magnitude": magnitude,
-        "promoted": report.promoted,
-        "serving_version": registry.version(),
-        "benches": [
-            entry("mre/clean_incumbent", clean_mre, "mre"),
-            entry("mre/drifted_incumbent", drifted_mre, "mre"),
-            entry("mre/promoted_on_drifted", recovered_mre, "mre"),
-            entry("mre/from_scratch_on_drifted", scratch_mre, "mre"),
-            entry("detect/queries_to_quarantine", detected_after as f64, "queries"),
-            entry("retrain/incumbent_holdout_mre", report.incumbent_error, "mre"),
-            entry("retrain/candidate_holdout_mre", report.candidate_error, "mre"),
-        ],
-    });
+    let mut doc = BenchDoc::new(
+        "drift_loop",
+        7,
+        serde_json::json!({
+            "templates": TEMPLATES,
+            "per_template": per_template,
+            "magnitude": magnitude,
+            "promoted": report.promoted,
+            "serving_version": registry.version(),
+        }),
+    );
+    doc.push("mre/clean_incumbent", clean_mre, "mre");
+    doc.push("mre/drifted_incumbent", drifted_mre, "mre");
+    doc.push("mre/promoted_on_drifted", recovered_mre, "mre");
+    doc.push("mre/from_scratch_on_drifted", scratch_mre, "mre");
+    doc.push("detect/queries_to_quarantine", detected_after as f64, "queries");
+    doc.push("retrain/incumbent_holdout_mre", report.incumbent_error, "mre");
+    doc.push("retrain/candidate_holdout_mre", report.candidate_error, "mre");
+    doc.validate().expect("emitted document violates BENCH-v1");
     let rendered = serde_json::to_string_pretty(&doc).expect("serialize bench report");
     std::fs::write(&out_path, rendered + "\n").expect("write bench report");
     println!("{out_path}");

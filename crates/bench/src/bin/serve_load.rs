@@ -10,14 +10,15 @@
 //!    shed fraction, deadline misses, tier degradation, and the p99 of
 //!    what was accepted.
 //!
-//! Prints a narrative to stderr and writes `BENCH_serve.json`
-//! (optd-style `{name, value, unit}` entries).
+//! Prints a narrative to stderr and writes `BENCH_serve.json` in the
+//! `BENCH-v1` schema (see `qpp_bench::schema`).
 //!
 //! Usage: `serve_load [OUT_PATH] [--per-template N] [--clients N]`
 
 use engine::faults::{ArrivalPattern, ServeFaultPlan};
 use engine::{Catalog, Simulator};
 use qpp::{ExecutedQuery, Method, ModelRegistry, PlanOrdering, QppConfig, QppPredictor, QueryDataset};
+use qpp_bench::schema::BenchDoc;
 use serve::{Endpoint, PredictionServer, ServeConfig, TierCosts, ENDPOINTS};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -215,56 +216,38 @@ fn main() {
     );
     drop(server);
 
-    let entry = |name: &str, value: f64, unit: &str| {
-        serde_json::json!({ "name": name, "value": value, "unit": unit })
-    };
-    let mut benches = vec![
-        entry("identity/requests_verified", verified as f64, "requests"),
-        entry("closed/throughput", closed_rps, "rps"),
-        entry("closed/wall", closed_wall, "s"),
-        entry(
-            "closed/largest_batch",
-            closed.largest_batch as f64,
-            "requests",
-        ),
-        entry("over/submitted", over.submitted as f64, "requests"),
-        entry("over/shed_fraction", shed_fraction, "fraction"),
-        entry("over/served", over.served as f64, "requests"),
-        entry(
-            "over/deadline_missed",
-            over.deadline_missed as f64,
-            "requests",
-        ),
-        entry("over/degraded", over.degraded as f64, "requests"),
-        entry("over/stalls_injected", over.stalls_injected as f64, "stalls"),
-        entry("over/accepted_p50", hybrid.p50_secs * 1e3, "ms"),
-        entry("over/accepted_p99", hybrid.p99_secs * 1e3, "ms"),
-    ];
+    let mut doc = BenchDoc::new(
+        "serve_load",
+        7,
+        serde_json::json!({
+            "templates": TEMPLATES,
+            "per_template": per_template,
+            "clients": clients,
+            "overload_rate_rps": rate,
+            "service_stall_secs": service_stall,
+            "deadline_ms": deadline.as_secs_f64() * 1e3,
+        }),
+    );
+    doc.push("identity/requests_verified", verified as f64, "requests");
+    doc.push("closed/throughput", closed_rps, "rps");
+    doc.push("closed/wall", closed_wall, "s");
+    doc.push("closed/largest_batch", closed.largest_batch as f64, "requests");
+    doc.push("over/submitted", over.submitted as f64, "requests");
+    doc.push("over/shed_fraction", shed_fraction, "fraction");
+    doc.push("over/served", over.served as f64, "requests");
+    doc.push("over/deadline_missed", over.deadline_missed as f64, "requests");
+    doc.push("over/degraded", over.degraded as f64, "requests");
+    doc.push("over/stalls_injected", over.stalls_injected as f64, "stalls");
+    doc.push("over/accepted_p50", hybrid.p50_secs * 1e3, "ms");
+    doc.push("over/accepted_p99", hybrid.p99_secs * 1e3, "ms");
     for e in ENDPOINTS {
         let s = closed.endpoint(e);
         if s.count > 0 {
-            benches.push(entry(
-                &format!("closed/{}_p50", e.name()),
-                s.p50_secs * 1e3,
-                "ms",
-            ));
-            benches.push(entry(
-                &format!("closed/{}_p99", e.name()),
-                s.p99_secs * 1e3,
-                "ms",
-            ));
+            doc.push(&format!("closed/{}_p50", e.name()), s.p50_secs * 1e3, "ms");
+            doc.push(&format!("closed/{}_p99", e.name()), s.p99_secs * 1e3, "ms");
         }
     }
-    let doc = serde_json::json!({
-        "tool": "serve_load",
-        "templates": TEMPLATES,
-        "per_template": per_template,
-        "clients": clients,
-        "overload_rate_rps": rate,
-        "service_stall_secs": service_stall,
-        "deadline_ms": deadline.as_secs_f64() * 1e3,
-        "benches": benches,
-    });
+    doc.validate().expect("emitted document violates BENCH-v1");
     let rendered = serde_json::to_string_pretty(&doc).expect("serialize bench report");
     std::fs::write(&out_path, rendered + "\n").expect("write bench report");
     println!("{out_path}");

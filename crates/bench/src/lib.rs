@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod report;
+pub mod schema;
 
 use engine::{Catalog, Simulator};
 use ml::cv::{stratified_kfold, Fold};
@@ -116,7 +117,9 @@ pub fn cross_validate_method<M: Send>(
 ) -> CvOutcome {
     let strata = ds.strata();
     let folds = stratified_kfold(&strata, CV_FOLDS.min(ds.len()).max(2), seed);
-    let run_fold = |fold: &Fold| -> Vec<(usize, (u8, f64, f64))> {
+    // (query index, (template, actual latency, predicted latency)).
+    type FoldRow = (usize, (u8, f64, f64));
+    let run_fold = |fold: &Fold| -> Vec<FoldRow> {
         let train = ds.subset(&fold.train);
         let model = fit(&train);
         fold.test
@@ -127,7 +130,7 @@ pub fn cross_validate_method<M: Send>(
             })
             .collect()
     };
-    let fold_rows: Vec<Vec<(usize, (u8, f64, f64))>> =
+    let fold_rows: Vec<Vec<FoldRow>> =
         if folds.len() > 1 && ml::par::threads() > 1 {
             ml::par::par_map(&folds, |_, fold| run_fold(fold))
         } else {

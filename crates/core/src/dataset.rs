@@ -309,7 +309,7 @@ impl QueryDataset {
             }
         };
         let results: Vec<QueryAttemptResult> = if workload.len() > 1 && ml::par::threads() > 1 {
-            ml::par::par_map(&workload.queries, |i, spec| run_query(i, spec))
+            ml::par::par_map(&workload.queries, run_query)
         } else {
             workload
                 .queries

@@ -105,8 +105,20 @@ pub fn plan_feature_names() -> Vec<String> {
 
 /// Extracts the Table-1 plan-level feature vector for (a sub-tree of) a
 /// plan. `views` must align with `plan.preorder()`.
+///
+/// This is the boxed-tree entry point; it recursively collects the
+/// pre-order node list and delegates to [`plan_features_slice`]. Hot
+/// callers that hold a [`engine::arena::PlanArena`] should pass
+/// `arena.subtree_nodes(idx)` to the slice form directly — the fragment
+/// is already contiguous there, so no per-fragment walk or allocation
+/// happens.
 pub fn plan_features(plan: &PlanNode, views: &[NodeView]) -> Vec<f64> {
-    let nodes = plan.preorder();
+    plan_features_slice(&plan.preorder(), views)
+}
+
+/// [`plan_features`] over an already-flattened pre-order node slice
+/// (typically an arena fragment), aligned index-for-index with `views`.
+pub fn plan_features_slice(nodes: &[&PlanNode], views: &[NodeView]) -> Vec<f64> {
     assert_eq!(nodes.len(), views.len(), "views misaligned with plan");
     let root = &views[0];
     let mut cnt = [0.0f64; ALL_OP_TYPES.len()];

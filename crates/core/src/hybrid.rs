@@ -16,11 +16,12 @@
 
 use crate::dataset::ExecutedQuery;
 use crate::error::QppError;
-use crate::features::{plan_features, NodeView};
+use crate::features::{plan_features, plan_features_slice, NodeView};
 use crate::op_model::OpLevelModel;
 use crate::plan_model::FeatureModel;
 use crate::pred_cache::{views_hash, PredictionCache, SubplanPredKey};
-use crate::subplan::{structure_key, subtree_hash_sizes, StructureKey, SubplanIndex};
+use crate::subplan::{arena_structure_hashes, StructureKey, SubplanIndex};
+use engine::arena::PlanArena;
 use engine::plan::PlanNode;
 use ml::cv::kfold;
 use ml::metrics::{mean_relative_error, relative_error};
@@ -173,8 +174,20 @@ impl HybridModel {
 
     /// Predicts over an arbitrary plan with aligned views.
     pub fn predict_plan(&self, plan: &PlanNode, views: &[NodeView]) -> HybridPrediction {
-        let mut nodes = vec![NodePrediction::Covered; plan.node_count()];
-        let (_, run) = self.compose(plan, views, &mut 0, &mut nodes);
+        let arena = PlanArena::flatten(plan);
+        self.predict_arena(&arena, views)
+    }
+
+    /// [`HybridModel::predict_plan`] over an already-flattened plan.
+    /// Structure keys come from one O(n) bottom-up hash pass over the
+    /// arena instead of per-node re-hashing, and fragment features are
+    /// read straight from contiguous arena slices — the boxed walk's
+    /// per-node `structure_key` + `node_count` calls made it O(n²) on
+    /// deep plans.
+    pub fn predict_arena(&self, arena: &PlanArena<'_>, views: &[NodeView]) -> HybridPrediction {
+        let hashes = arena_structure_hashes(arena);
+        let mut nodes = vec![NodePrediction::Covered; arena.len()];
+        let (_, run) = self.compose(arena, &hashes, views, 0, &mut nodes);
         HybridPrediction {
             nodes,
             latency: run.max(0.0),
@@ -222,13 +235,27 @@ impl HybridModel {
         views: &[NodeView],
         cache: &PredictionCache,
     ) -> f64 {
-        let (hashes, sizes) = subtree_hash_sizes(plan);
-        let nodes = plan.preorder();
+        let arena = PlanArena::flatten(plan);
+        let hashes = arena_structure_hashes(&arena);
+        self.predict_memo_arena(&arena, &hashes, views, cache)
+    }
+
+    /// [`HybridModel::predict_plan_memo`] over an already-flattened plan
+    /// whose structure hashes (from
+    /// [`crate::subplan::arena_structure_hashes`]) the caller computed
+    /// once — the online predictor enumerates fragments over the same
+    /// arena before predicting, so nothing is flattened or hashed twice.
+    pub fn predict_memo_arena(
+        &self,
+        arena: &PlanArena<'_>,
+        hashes: &[u64],
+        views: &[NodeView],
+        cache: &PredictionCache,
+    ) -> f64 {
         let ctx = MemoCtx {
-            nodes: &nodes,
+            arena,
             views,
-            hashes: &hashes,
-            sizes: &sizes,
+            hashes,
             sig: self.plan_model_signature(),
             cache,
         };
@@ -257,13 +284,12 @@ impl HybridModel {
         let sig = self.plan_model_signature();
         let one = |q: &ExecutedQuery| -> f64 {
             let views = q.views(self.op_model.source());
-            let (hashes, sizes) = subtree_hash_sizes(&q.plan);
-            let nodes = q.plan.preorder();
+            let arena = PlanArena::flatten(&q.plan);
+            let hashes = arena_structure_hashes(&arena);
             let ctx = MemoCtx {
-                nodes: &nodes,
+                arena: &arena,
                 views: &views,
                 hashes: &hashes,
-                sizes: &sizes,
                 sig,
                 cache,
             };
@@ -282,30 +308,29 @@ impl HybridModel {
     /// `(start, run)` looked up in / inserted into the memo cache. Node
     /// identity comes from pre-order index `idx` into the context arrays
     /// instead of a walk cursor.
-    fn compose_memo(&self, ctx: &MemoCtx<'_>, idx: usize) -> (f64, f64) {
+    fn compose_memo(&self, ctx: &MemoCtx<'_, '_>, idx: usize) -> (f64, f64) {
+        let size = ctx.arena.size(idx);
         let key = SubplanPredKey {
             model: ctx.sig,
             structure: ctx.hashes[idx],
-            views: views_hash(&ctx.views[idx..idx + ctx.sizes[idx]]),
+            views: views_hash(&ctx.views[idx..idx + size]),
         };
         if let Some(times) = ctx.cache.get(&key) {
             return times;
         }
-        let node = ctx.nodes[idx];
+        let node = ctx.arena.node(idx);
         let times = if let Some(sm) = self.plan_models.get(&StructureKey(ctx.hashes[idx])) {
-            let slice = &ctx.views[idx..idx + ctx.sizes[idx]];
-            let f = plan_features(node, slice);
+            let slice = &ctx.views[idx..idx + size];
+            let f = plan_features_slice(ctx.arena.subtree_nodes(idx), slice);
             let start = sm.start.predict(&f).max(0.0);
             let run = sm.run.predict(&f).max(start);
             (start, run)
         } else {
             let mut child_times = Vec::with_capacity(node.children.len());
             let mut child_views = Vec::with_capacity(node.children.len());
-            let mut ci = idx + 1;
-            for _ in 0..node.children.len() {
+            for ci in ctx.arena.children(idx) {
                 child_views.push(&ctx.views[ci]);
                 child_times.push(self.compose_memo(ctx, ci));
-                ci += ctx.sizes[ci];
             }
             self.op_model
                 .predict_node(node, &ctx.views[idx], &child_views, &child_times)
@@ -316,54 +341,51 @@ impl HybridModel {
 
     fn compose(
         &self,
-        node: &PlanNode,
+        arena: &PlanArena<'_>,
+        hashes: &[u64],
         views: &[NodeView],
-        cursor: &mut usize,
+        idx: usize,
         out: &mut Vec<NodePrediction>,
     ) -> (f64, f64) {
-        let my_idx = *cursor;
-        let size = node.node_count();
-        let key = structure_key(node);
-        if let Some(sm) = self.plan_models.get(&key) {
+        let size = arena.size(idx);
+        if let Some(sm) = self.plan_models.get(&StructureKey(hashes[idx])) {
             // Plan-level prediction for the whole fragment; descendants
             // are consumed. Offline models apply unconditionally (as in
             // the paper); the target-range clamp inside FeatureModel keeps
             // out-of-distribution fragments from exploding, and the online
             // method adds stricter guards for models built on the fly.
-            *cursor += size;
-            let slice = &views[my_idx..my_idx + size];
-            let f = plan_features(node, slice);
+            let slice = &views[idx..idx + size];
+            let f = plan_features_slice(arena.subtree_nodes(idx), slice);
             let start = sm.start.predict(&f).max(0.0);
             let run = sm.run.predict(&f).max(start);
-            out[my_idx] = NodePrediction::PlanModel {
+            out[idx] = NodePrediction::PlanModel {
                 times: (start, run),
             };
             return (start, run);
         }
-        *cursor += 1;
+        let node = arena.node(idx);
         let mut child_times = Vec::with_capacity(node.children.len());
         let mut child_views = Vec::with_capacity(node.children.len());
-        for c in &node.children {
-            let v_idx = *cursor;
-            child_times.push(self.compose(c, views, cursor, out));
-            child_views.push(&views[v_idx]);
+        for ci in arena.children(idx) {
+            child_views.push(&views[ci]);
+            child_times.push(self.compose(arena, hashes, views, ci, out));
         }
         let t = self
             .op_model
-            .predict_node(node, &views[my_idx], &child_views, &child_times);
-        out[my_idx] = NodePrediction::Operator { times: t };
+            .predict_node(node, &views[idx], &child_views, &child_times);
+        out[idx] = NodePrediction::Operator { times: t };
         t
     }
 }
 
-/// Borrowed state for one memoized plan walk: pre-order node pointers,
-/// aligned views, the per-node structure hashes / subtree sizes from
-/// [`subtree_hash_sizes`], the model-set signature, and the shared cache.
-struct MemoCtx<'a> {
-    nodes: &'a [&'a PlanNode],
+/// Borrowed state for one memoized plan walk: the flattened arena,
+/// aligned views, the per-node structure hashes from
+/// [`arena_structure_hashes`], the model-set signature, and the shared
+/// cache.
+struct MemoCtx<'a, 'p> {
+    arena: &'a PlanArena<'p>,
     views: &'a [NodeView],
     hashes: &'a [u64],
-    sizes: &'a [usize],
     sig: u64,
     cache: &'a PredictionCache,
 }
@@ -543,7 +565,10 @@ fn next_candidate(
         }
         (cov, errs)
     };
-    let walked: Vec<(Vec<bool>, Vec<(usize, f64)>)> =
+    // Per query: node coverage flags plus (node index, relative error)
+    // pairs for the operator-modeled nodes.
+    type NodeWalk = (Vec<bool>, Vec<(usize, f64)>);
+    let walked: Vec<NodeWalk> =
         if queries.len() > 1 && ml::par::threads() > 1 {
             ml::par::par_map(queries, |qi, q| per_query_walk(qi, q))
         } else {

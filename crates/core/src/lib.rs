@@ -50,7 +50,7 @@ pub use dataset::{
     CollectionConfig, CollectionReport, ExecutedQuery, QueryDataset, ONE_HOUR_SECS,
 };
 pub use error::QppError;
-pub use features::{plan_features, FeatureSource, NodeView};
+pub use features::{plan_features, plan_features_slice, FeatureSource, NodeView};
 pub use hybrid::{train_hybrid, HybridConfig, HybridModel, PlanOrdering};
 pub use materialize::MaterializedModels;
 pub use monitor::{DriftMonitor, ModelHealth, MonitorConfig, SloRecorder, TierState};
@@ -66,4 +66,6 @@ pub use progressive::{observations_at, predict_progressive, predict_progressive_
 pub use registry::{
     decode_snapshot, encode_snapshot, ModelRegistry, PromotionReport, RetrainConfig,
 };
-pub use subplan::{structure_key, subtree_hash_sizes, StructureKey, SubplanIndex};
+pub use subplan::{
+    arena_structure_hashes, structure_key, subtree_hash_sizes, StructureKey, SubplanIndex,
+};

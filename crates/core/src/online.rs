@@ -12,7 +12,8 @@ use crate::dataset::ExecutedQuery;
 use crate::features::{FeatureSource, NodeView};
 use crate::hybrid::{train_subplan_model, HybridConfig, HybridModel, SubplanModel};
 use crate::pred_cache::PredictionCache;
-use crate::subplan::{structure_key, StructureKey, SubplanIndex};
+use crate::subplan::{arena_structure_hashes, StructureKey, SubplanIndex};
+use engine::arena::PlanArena;
 use engine::plan::PlanNode;
 use ml::metrics::relative_error;
 use std::collections::HashMap;
@@ -127,9 +128,11 @@ impl<'a> OnlinePredictor<'a> {
     fn predict_refined(&mut self, plan: &PlanNode, views: &[NodeView]) -> f64 {
         // Enumerate the incoming plan's sub-plans (with their feature
         // vectors) and build candidate models for those present in the
-        // training data.
-        let mut keys = Vec::new();
-        collect_keys_with_features(plan, views, &mut 0, self.config.min_size, &mut keys);
+        // training data. The plan is flattened once; the same arena and
+        // hash array then drive the memoized prediction walk.
+        let arena = PlanArena::flatten(plan);
+        let hashes = arena_structure_hashes(&arena);
+        let keys = collect_keys_with_features(&arena, &hashes, views, self.config.min_size);
         let mut model = self.base.clone();
         for (key, features) in keys {
             if model.plan_models.contains_key(&key) {
@@ -143,7 +146,7 @@ impl<'a> OnlinePredictor<'a> {
                 }
             }
         }
-        model.predict_plan_memo(plan, views, &self.pred_cache)
+        model.predict_memo_arena(&arena, &hashes, views, &self.pred_cache)
     }
 
     /// Builds (or fetches) the model for a fragment and returns it only if
@@ -250,26 +253,34 @@ impl<'a> OnlinePredictor<'a> {
 }
 
 /// Collects (structure key, plan-level feature vector) for every sub-plan
-/// of at least `min_size` operators, first occurrence per key.
+/// of at least `min_size` operators, first occurrence per key, in
+/// pre-order. One linear pass over the arena: sizes and structure hashes
+/// are already memoized, and fragment features come from contiguous
+/// slices (the boxed walk re-ran `node_count` and `structure_key` per
+/// node, which was O(n²)).
 fn collect_keys_with_features(
-    node: &PlanNode,
+    arena: &PlanArena<'_>,
+    hashes: &[u64],
     views: &[NodeView],
-    cursor: &mut usize,
     min_size: usize,
-    out: &mut Vec<(StructureKey, Vec<f64>)>,
-) {
-    let my_idx = *cursor;
-    *cursor += 1;
-    if node.node_count() >= min_size {
-        let k = structure_key(node);
-        if !out.iter().any(|(kk, _)| *kk == k) {
-            let slice = &views[my_idx..my_idx + node.node_count()];
-            out.push((k, crate::features::plan_features(node, slice)));
+) -> Vec<(StructureKey, Vec<f64>)> {
+    let mut out: Vec<(StructureKey, Vec<f64>)> = Vec::new();
+    for idx in arena.preorder() {
+        let size = arena.size(idx);
+        if size < min_size {
+            continue;
         }
+        let k = StructureKey(hashes[idx]);
+        if out.iter().any(|(kk, _)| *kk == k) {
+            continue;
+        }
+        let slice = &views[idx..idx + size];
+        out.push((
+            k,
+            crate::features::plan_features_slice(arena.subtree_nodes(idx), slice),
+        ));
     }
-    for c in &node.children {
-        collect_keys_with_features(c, views, cursor, min_size, out);
-    }
+    out
 }
 
 #[cfg(test)]

@@ -110,7 +110,9 @@ impl OpLevelModel {
             );
             rows
         };
-        let per_query: Vec<Vec<(usize, Vec<f64>, f64, f64)>> =
+        // (operator type index, feature row, start-time, run-time).
+        type OpRow = (usize, Vec<f64>, f64, f64);
+        let per_query: Vec<Vec<OpRow>> =
             if queries.len() > 1 && ml::par::threads() > 1 {
                 ml::par::par_map(queries, |_, q| rows_of(q))
             } else {
@@ -154,7 +156,7 @@ impl OpLevelModel {
         };
         let fitted: Vec<Result<Option<(FeatureModel, FeatureModel)>, MlError>> =
             if ml::par::threads() > 1 {
-                ml::par::par_map_n(n_types, &fit_type)
+                ml::par::par_map_n(n_types, fit_type)
             } else {
                 (0..n_types).map(fit_type).collect()
             };

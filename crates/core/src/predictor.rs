@@ -283,11 +283,11 @@ impl QppPredictor {
                 plan_features(&query.plan, &views).iter().all(|v| v.is_finite())
             })
         };
-        for i in start..MODEL_TIERS.len() {
+        for (i, &tier) in MODEL_TIERS.iter().enumerate().skip(start) {
             if self.breakers[i].load(Ordering::Relaxed) >= self.config.breaker_threshold {
                 continue;
             }
-            let source = match MODEL_TIERS[i] {
+            let source = match tier {
                 PredictionTier::PlanLevel => self.plan_level.source(),
                 _ => self.op_level.source(),
             };
@@ -296,7 +296,7 @@ impl QppPredictor {
                 // tier without advancing its breaker.
                 continue;
             }
-            let value = match MODEL_TIERS[i] {
+            let value = match tier {
                 PredictionTier::Hybrid => self.hybrid.predict(query),
                 PredictionTier::OperatorLevel => self.op_level.predict(query),
                 _ => self.plan_level.predict(query),
@@ -305,8 +305,8 @@ impl QppPredictor {
                 self.breakers[i].store(0, Ordering::Relaxed);
                 return Prediction {
                     value,
-                    method_used: MODEL_TIERS[i],
-                    degraded: MODEL_TIERS[i] != requested,
+                    method_used: tier,
+                    degraded: tier != requested,
                 };
             }
             self.breakers[i].fetch_add(1, Ordering::Relaxed);

@@ -6,6 +6,7 @@
 //! of the same fragment across queries and templates hash to the same key
 //! (the paper's `get_plan_list` hash index).
 
+use engine::arena::PlanArena;
 use engine::plan::{OpDetail, PlanNode};
 use std::collections::HashMap;
 
@@ -102,18 +103,17 @@ impl SubplanIndex {
     /// Builds the index over `(template, plan)` pairs, enumerating every
     /// subtree with at least `min_size` operators.
     ///
-    /// Hashes and sizes are memoized bottom-up in one post-order pass per
-    /// plan, so indexing a plan of `n` operators costs O(n) hash work
-    /// instead of the O(n²) of re-hashing every subtree from its root.
+    /// Each plan is flattened into a [`PlanArena`] once, and hashes are
+    /// memoized bottom-up along its post-order cursor, so indexing a plan
+    /// of `n` operators costs O(n) hash work instead of the O(n²) of
+    /// re-hashing every subtree from its root.
     pub fn build(plans: &[(u8, &PlanNode)], min_size: usize) -> SubplanIndex {
         let mut idx = SubplanIndex::default();
         for (q, (template, plan)) in plans.iter().enumerate() {
-            let n = plan.node_count();
-            let mut hashes = vec![0u64; n];
-            let mut sizes = vec![0usize; n];
-            hash_and_size(plan, &mut 0, &mut hashes, &mut sizes);
-            for (i, node) in plan.preorder().iter().enumerate() {
-                let size = sizes[i];
+            let arena = PlanArena::flatten(plan);
+            let hashes = arena_structure_hashes(&arena);
+            for (i, node) in arena.nodes().iter().enumerate() {
+                let size = arena.size(i);
                 if size < min_size {
                     continue;
                 }
@@ -210,59 +210,51 @@ impl SubplanIndex {
     }
 }
 
-/// Computes the structure hash and operator count of every subtree in one
-/// post-order pass, writing them into `hashes`/`sizes` at each node's
-/// pre-order position. Must agree exactly with [`hash_node`], which stays
-/// the single-subtree entry point used at predict time.
-fn hash_and_size(
-    node: &PlanNode,
-    cursor: &mut usize,
-    hashes: &mut [u64],
-    sizes: &mut [usize],
-) -> (u64, usize) {
-    let my = *cursor;
-    *cursor += 1;
-    let mut child_pos = Vec::with_capacity(node.children.len());
-    let mut size = 1usize;
-    for c in &node.children {
-        child_pos.push(*cursor);
-        let (_, s) = hash_and_size(c, cursor, hashes, sizes);
-        size += s;
-    }
+/// Computes the structure hash of every node of an already-flattened
+/// plan, indexed by pre-order position. Iterates the arena's post-order
+/// cursor (children's hashes land before their parent reads them), so the
+/// whole plan costs O(n) hash work with no recursion. Must agree exactly
+/// with [`hash_node`], which stays the single-subtree entry point used at
+/// predict time.
+pub fn arena_structure_hashes(arena: &PlanArena<'_>) -> Vec<u64> {
+    let mut hashes = vec![0u64; arena.len()];
     let mix = |h: u64, v: u64| (h ^ v).wrapping_mul(0x1000_0000_01b3);
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    h = mix(h, node.op.index() as u64 + 1);
-    if let OpDetail::Scan { table, .. } = &node.detail {
-        h = mix(h, *table as u64 + 101);
-    }
-    if let OpDetail::Join { kind, .. } = &node.detail {
-        h = mix(h, *kind as u64 + 501);
-    }
-    if node.op == engine::plan::OpType::HashJoin && node.children.len() == 2 {
-        // The Hash wrapper's stripped hash is its only child's hash, which
-        // sits at the very next pre-order position — already memoized.
-        let stripped = |ci: usize| -> u64 {
-            let c = &node.children[ci];
-            if c.op == engine::plan::OpType::Hash && c.children.len() == 1 {
-                hashes[child_pos[ci] + 1]
-            } else {
-                hashes[child_pos[ci]]
-            }
-        };
-        let a = stripped(0);
-        let b = stripped(1);
-        let combined = (a ^ b).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            ^ a.wrapping_add(b)
-            ^ a.min(b).rotate_left(13);
-        h = mix(h, combined);
-    } else {
-        for &cp in &child_pos {
-            h = mix(h, hashes[cp]);
+    for idx in arena.postorder() {
+        let node = arena.node(idx);
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        h = mix(h, node.op.index() as u64 + 1);
+        if let OpDetail::Scan { table, .. } = &node.detail {
+            h = mix(h, *table as u64 + 101);
         }
+        if let OpDetail::Join { kind, .. } = &node.detail {
+            h = mix(h, *kind as u64 + 501);
+        }
+        if node.op == engine::plan::OpType::HashJoin && node.children.len() == 2 {
+            // The Hash wrapper's stripped hash is its only child's hash,
+            // which sits at the very next pre-order position — memoized.
+            let stripped = |ci: usize| -> u64 {
+                let c = arena.node(ci);
+                if c.op == engine::plan::OpType::Hash && c.children.len() == 1 {
+                    hashes[ci + 1]
+                } else {
+                    hashes[ci]
+                }
+            };
+            let mut children = arena.children(idx);
+            let a = stripped(children.next().expect("binary join"));
+            let b = stripped(children.next().expect("binary join"));
+            let combined = (a ^ b).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ a.wrapping_add(b)
+                ^ a.min(b).rotate_left(13);
+            h = mix(h, combined);
+        } else {
+            for ci in arena.children(idx) {
+                h = mix(h, hashes[ci]);
+            }
+        }
+        hashes[idx] = h;
     }
-    hashes[my] = h;
-    sizes[my] = size;
-    (h, size)
+    hashes
 }
 
 /// Computes the structure hash and subtree size of *every* node of `plan`
@@ -274,14 +266,13 @@ fn hash_and_size(
 /// walk can key a memo cache for any fragment without re-hashing it —
 /// this is what the prediction memo cache
 /// ([`crate::pred_cache::PredictionCache`]) uses to key sub-plan
-/// predictions in O(n) total per plan.
+/// predictions in O(n) total per plan. Callers that already hold a
+/// [`PlanArena`] should use [`arena_structure_hashes`] with the arena's
+/// own `sizes()` instead of re-flattening here.
 pub fn subtree_hash_sizes(plan: &PlanNode) -> (Vec<u64>, Vec<usize>) {
-    let n = plan.node_count();
-    let mut hashes = vec![0u64; n];
-    let mut sizes = vec![0usize; n];
-    let mut cursor = 0usize;
-    hash_and_size(plan, &mut cursor, &mut hashes, &mut sizes);
-    (hashes, sizes)
+    let arena = PlanArena::flatten(plan);
+    let hashes = arena_structure_hashes(&arena);
+    (hashes, arena.sizes().to_vec())
 }
 
 /// A compact single-line structural description, e.g.
@@ -405,10 +396,7 @@ mod tests {
         // the build side carries a Hash wrapper.
         let ps = plans(&[1, 3, 5, 10, 14], 2);
         for (_, plan) in &ps {
-            let n = plan.node_count();
-            let mut hashes = vec![0u64; n];
-            let mut sizes = vec![0usize; n];
-            hash_and_size(plan, &mut 0, &mut hashes, &mut sizes);
+            let (hashes, sizes) = subtree_hash_sizes(plan);
             for (i, node) in plan.preorder().iter().enumerate() {
                 assert_eq!(StructureKey(hashes[i]), structure_key(node));
                 assert_eq!(sizes[i], node.node_count());

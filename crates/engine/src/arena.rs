@@ -1,0 +1,271 @@
+//! Index-linked arena views of plan trees.
+//!
+//! [`PlanNode`] owns its children through `Vec<PlanNode>`, which is the
+//! right shape for *building* plans but a poor one for the prediction hot
+//! path: every consumer that needs pre-order positions re-walks the tree
+//! recursively (`preorder()` allocates a fresh `Vec` per call, and
+//! per-fragment `node_count()` calls turn an O(n) walk into O(n²) on deep
+//! plans).
+//!
+//! [`PlanArena`] flattens a tree **once** into contiguous, index-linked
+//! storage:
+//!
+//! - `nodes[i]` is the node at pre-order position `i` — the same layout
+//!   feature views, timing traces and the sub-plan index already use;
+//! - `sizes[i]` is the subtree size at `i`, so the fragment rooted there
+//!   is exactly the contiguous range `i .. i + sizes[i]` and its children
+//!   are recovered by index arithmetic (first child at `i + 1`, each next
+//!   sibling one subtree-size further) without touching the boxed tree;
+//! - `postorder` records the pre-order indices in post-order visit order,
+//!   which is what bottom-up passes (structure hashing, cost roll-ups)
+//!   iterate instead of recursing.
+//!
+//! The arena borrows the tree (`&'p PlanNode`) rather than copying node
+//! payloads: flattening is a single traversal with three `Vec` pushes per
+//! node, and every consumer keeps reading the original annotations.
+
+use crate::plan::PlanNode;
+
+/// A plan tree flattened into contiguous pre-order storage with
+/// index-linked structure (see the module docs).
+#[derive(Debug, Clone)]
+pub struct PlanArena<'p> {
+    /// Nodes at their pre-order positions.
+    nodes: Vec<&'p PlanNode>,
+    /// Subtree size (operator count) at each pre-order position.
+    sizes: Vec<usize>,
+    /// Pre-order indices in post-order visit order (children before
+    /// parents; `postorder.last()` is the root, index 0).
+    postorder: Vec<u32>,
+}
+
+impl<'p> PlanArena<'p> {
+    /// Flattens `root` in one iterative traversal (no recursion, so plan
+    /// depth cannot overflow the call stack).
+    pub fn flatten(root: &'p PlanNode) -> PlanArena<'p> {
+        enum Frame<'p> {
+            Enter(&'p PlanNode),
+            Exit(usize),
+        }
+        let mut nodes: Vec<&'p PlanNode> = Vec::new();
+        let mut sizes: Vec<usize> = Vec::new();
+        let mut postorder: Vec<u32> = Vec::new();
+        let mut stack = vec![Frame::Enter(root)];
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::Enter(node) => {
+                    let idx = nodes.len();
+                    nodes.push(node);
+                    sizes.push(0); // patched at Exit
+                    stack.push(Frame::Exit(idx));
+                    // Reversed so children pop (and get visited) in order.
+                    for c in node.children.iter().rev() {
+                        stack.push(Frame::Enter(c));
+                    }
+                }
+                Frame::Exit(idx) => {
+                    // Everything appended since Enter is this subtree.
+                    sizes[idx] = nodes.len() - idx;
+                    postorder.push(idx as u32);
+                }
+            }
+        }
+        debug_assert!(nodes.len() <= u32::MAX as usize, "plan too large for u32 indices");
+        PlanArena {
+            nodes,
+            sizes,
+            postorder,
+        }
+    }
+
+    /// Number of nodes (the root's subtree size).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// An arena is never empty (it always holds at least the root), so
+    /// this is always `false`; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node at pre-order position `idx`.
+    pub fn node(&self, idx: usize) -> &'p PlanNode {
+        self.nodes[idx]
+    }
+
+    /// All nodes in pre-order.
+    pub fn nodes(&self) -> &[&'p PlanNode] {
+        &self.nodes
+    }
+
+    /// Subtree size at pre-order position `idx`.
+    pub fn size(&self, idx: usize) -> usize {
+        self.sizes[idx]
+    }
+
+    /// Subtree sizes aligned with [`PlanArena::nodes`].
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// The contiguous pre-order range of the fragment rooted at `idx`.
+    pub fn subtree_range(&self, idx: usize) -> std::ops::Range<usize> {
+        idx..idx + self.sizes[idx]
+    }
+
+    /// The fragment rooted at `idx` as a pre-order node slice (aligned
+    /// with any per-node array sliced by [`PlanArena::subtree_range`]).
+    pub fn subtree_nodes(&self, idx: usize) -> &[&'p PlanNode] {
+        &self.nodes[self.subtree_range(idx)]
+    }
+
+    /// Pre-order traversal cursor: the indices `0..len()` (the arena *is*
+    /// pre-order storage).
+    pub fn preorder(&self) -> std::ops::Range<usize> {
+        0..self.nodes.len()
+    }
+
+    /// Post-order traversal cursor over pre-order indices: every node is
+    /// yielded after all of its descendants, so bottom-up passes can index
+    /// children's results directly.
+    pub fn postorder(&self) -> impl Iterator<Item = usize> + '_ {
+        self.postorder.iter().map(|&i| i as usize)
+    }
+
+    /// The pre-order indices of `idx`'s direct children, in child order.
+    pub fn children(&self, idx: usize) -> ChildIndices<'_> {
+        ChildIndices {
+            sizes: &self.sizes,
+            next: idx + 1,
+            end: idx + self.sizes[idx],
+        }
+    }
+}
+
+/// Iterator over a node's direct-child pre-order indices; see
+/// [`PlanArena::children`].
+pub struct ChildIndices<'a> {
+    sizes: &'a [usize],
+    next: usize,
+    end: usize,
+}
+
+impl Iterator for ChildIndices<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.next >= self.end {
+            return None;
+        }
+        let child = self.next;
+        self.next += self.sizes[child];
+        Some(child)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{NodeEst, NodeTruth, OpDetail, OpType};
+
+    fn leaf(op: OpType) -> PlanNode {
+        PlanNode {
+            op,
+            children: vec![],
+            est: NodeEst {
+                startup_cost: 0.0,
+                total_cost: 10.0,
+                rows: 5.0,
+                width: 100.0,
+                pages: 1.0,
+                selectivity: 1.0,
+            },
+            truth: NodeTruth {
+                rows: 5.0,
+                pages: 1.0,
+                selectivity: 1.0,
+            },
+            detail: OpDetail::None,
+        }
+    }
+
+    /// HashJoin(SeqScan, Hash(Sort(SeqScan))) — mixed arities and depth.
+    fn tree() -> PlanNode {
+        let mut sort = leaf(OpType::Sort);
+        sort.children.push(leaf(OpType::SeqScan));
+        let mut hash = leaf(OpType::Hash);
+        hash.children.push(sort);
+        let mut root = leaf(OpType::HashJoin);
+        root.children.push(leaf(OpType::SeqScan));
+        root.children.push(hash);
+        root
+    }
+
+    #[test]
+    fn flatten_matches_boxed_preorder() {
+        let t = tree();
+        let arena = PlanArena::flatten(&t);
+        let boxed = t.preorder();
+        assert_eq!(arena.len(), boxed.len());
+        assert!(!arena.is_empty());
+        for (i, n) in boxed.iter().enumerate() {
+            assert!(std::ptr::eq(arena.node(i), *n), "node {i} differs");
+            assert_eq!(arena.size(i), n.node_count(), "size {i} differs");
+        }
+    }
+
+    #[test]
+    fn children_indices_walk_in_order() {
+        let t = tree();
+        let arena = PlanArena::flatten(&t);
+        for idx in arena.preorder() {
+            let via_arena: Vec<OpType> =
+                arena.children(idx).map(|c| arena.node(c).op).collect();
+            let via_tree: Vec<OpType> =
+                arena.node(idx).children.iter().map(|c| c.op).collect();
+            assert_eq!(via_arena, via_tree, "children of {idx}");
+        }
+    }
+
+    #[test]
+    fn postorder_visits_children_before_parents() {
+        let t = tree();
+        let arena = PlanArena::flatten(&t);
+        let order: Vec<usize> = arena.postorder().collect();
+        assert_eq!(order.len(), arena.len());
+        assert_eq!(*order.last().unwrap(), 0, "root exits last");
+        let mut seen = vec![false; arena.len()];
+        for idx in arena.postorder() {
+            for c in arena.children(idx) {
+                assert!(seen[c], "child {c} not visited before parent {idx}");
+            }
+            seen[idx] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn subtree_ranges_are_contiguous_fragments() {
+        let t = tree();
+        let arena = PlanArena::flatten(&t);
+        for idx in arena.preorder() {
+            let frag = arena.subtree_nodes(idx);
+            let boxed = arena.node(idx).preorder();
+            assert_eq!(frag.len(), boxed.len());
+            for (a, b) in frag.iter().zip(&boxed) {
+                assert!(std::ptr::eq(*a, *b));
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_plan() {
+        let t = leaf(OpType::SeqScan);
+        let arena = PlanArena::flatten(&t);
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.size(0), 1);
+        assert_eq!(arena.children(0).count(), 0);
+        assert_eq!(arena.postorder().collect::<Vec<_>>(), vec![0]);
+    }
+}

@@ -3,6 +3,8 @@
 //! This crate plays the role of "PostgreSQL on a commodity server" in the
 //! reproduction:
 //!
+//! - [`arena`] — index-linked contiguous views of plan trees for the
+//!   prediction hot path.
 //! - [`catalog`] + [`histogram`] — ANALYZE-style statistics (with realistic
 //!   estimation noise and distinct-count underestimation).
 //! - [`estimator`] — the optimizer's selectivity/cardinality estimator
@@ -23,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod catalog;
 pub mod cost;
 pub mod estimator;
@@ -36,6 +39,7 @@ pub mod recost;
 pub mod sim;
 pub mod truth;
 
+pub use arena::PlanArena;
 pub use catalog::Catalog;
 pub use estimator::Estimator;
 pub use faults::{DriftKind, DriftPlan, ExecError, FaultOutcome, FaultPlan};

@@ -9,24 +9,49 @@
 //!
 //! [`CompiledModel`] is a post-training compilation of a trained model:
 //!
-//! - support vectors are packed into one contiguous row-major `Vec<f64>`,
 //! - support vectors with a zero dual coefficient are pruned,
+//! - the surviving vectors are packed twice: once row-major
+//!   ([`CompiledSvr::predict_into_unblocked`], the order-preserving
+//!   reference layout) and once as **lane-padded SoA blocks** of
+//!   [`LANES`] = 8 support vectors each, feature-major within a block and
+//!   zero-padded to a whole block (padding carries a zero coefficient, so
+//!   padded lanes only ever add `+0.0` to their own accumulator),
 //! - the kernel dispatch is hoisted out of the per-support-vector loop,
 //! - scaling, the kernel expansion, the bias, and the target inverse run in
 //!   a single pass over a caller-provided scratch buffer
 //!   ([`CompiledSvr::predict_into`]), so a steady-state prediction performs
-//!   zero heap allocations.
+//!   zero heap allocations (`tests/zero_alloc.rs` counts them).
 //!
-//! Compiled predictions are **bit-identical** to the reference
-//! [`crate::SvrModel::predict`] path: support vectors are already stored in
-//! scaled space, the accumulation visits them in the same order, and the
-//! per-vector kernel arithmetic matches [`crate::Kernel::eval`]'s
-//! left-to-right fold exactly. Pruning a zero coefficient only removes
-//! `acc += ±0.0` terms, which cannot change a running sum (the lone
-//! exception, `-0.0 + +0.0`, is washed out by the target-inverse affine
-//! step before the value escapes). `tests/compiled_props.rs` enforces this
-//! with `f64::to_bits` comparisons across kernels, gammas, and pruned-SV
-//! counts.
+//! # Accumulation order
+//!
+//! The hot path evaluates the kernel sum in a **fixed reduction-tree
+//! order**: eight independent lane accumulators `s0..s7` (support vector
+//! `i` always lands in lane `i % 8`), each updated once per block in block
+//! order, combined at the end as
+//! `((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7))`. That order is part of the
+//! model's numeric contract: it does not depend on the thread count, the
+//! batch size, or which implementation runs. Two implementations exist —
+//! an unrolled scalar tree (portable fallback) and an AVX2 path using two
+//! 4-wide `f64` vectors, runtime-dispatched on
+//! `is_x86_feature_detected!("avx2")` — and they are **bit-identical to
+//! each other** by construction: the per-lane operation sequences are the
+//! same scalar IEEE ops in the same order (the RBF `exp` stays scalar per
+//! lane in both), only their interleaving across independent lanes
+//! differs. `tests/simd_props.rs` enforces exact equality across random
+//! models and arities. The `force-scalar` cargo feature compiles the
+//! dispatch out so CI can exercise the fallback on AVX2 hosts.
+//!
+//! Relative to the *reference* [`crate::SvrModel::predict`] (a single
+//! left-to-right fold), the tree order regroups the same additions, so
+//! compiled predictions agree with the reference to summation-reordering
+//! rounding (a few ULPs of the term magnitudes — `tests/compiled_props.rs`
+//! bounds it against the condition of the sum) rather than bit-for-bit.
+//! The fold order is retained as
+//! [`CompiledSvr::predict_into_unblocked`], which *is* bit-identical to
+//! the reference path and serves as the pre-SIMD baseline in
+//! `perf_trajectory`. The left-to-right fold is a loop-carried dependence
+//! chain — one f64 add latency per support vector — which is exactly what
+//! the lane tree exists to break.
 
 use crate::linreg::LinearModel;
 use crate::scaler::{StandardScaler, TargetScaler};
@@ -34,9 +59,32 @@ use crate::svr::{Kernel, SvrModel};
 use crate::{MlError, Model};
 use std::cell::RefCell;
 
+/// Support vectors per lane-padded SoA block (two 4-wide AVX2 vectors).
+pub const LANES: usize = 8;
+
 /// Row-count threshold above which [`CompiledSvr::predict_batch`] fans out
 /// over [`crate::par`]; below it the fork-join overhead outweighs the work.
 const PAR_MIN_ROWS: usize = 64;
+
+/// True when the dispatched hot path will use the AVX2 kernel on this
+/// host. Always false with the `force-scalar` feature or off x86_64.
+pub fn simd_available() -> bool {
+    #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(all(target_arch = "x86_64", not(feature = "force-scalar"))))]
+    {
+        false
+    }
+}
+
+/// Fixed final combine of the eight lane accumulators. Shared by the
+/// scalar tree and the AVX2 path so the reduction order is identical.
+#[inline(always)]
+fn combine_tree(s: &[f64; LANES]) -> f64 {
+    ((s[0] + s[1]) + (s[2] + s[3])) + ((s[4] + s[5]) + (s[6] + s[7]))
+}
 
 /// Reusable scratch space for [`CompiledSvr::predict_into`].
 ///
@@ -47,6 +95,8 @@ const PAR_MIN_ROWS: usize = 64;
 #[derive(Debug, Clone, Default)]
 pub struct PredictScratch {
     xr: Vec<f64>,
+    /// Second scaled-row buffer for the pair-row batched kernel.
+    xr2: Vec<f64>,
 }
 
 impl PredictScratch {
@@ -74,18 +124,36 @@ impl PredictScratch {
         self.xr.resize(n, 0.0);
         &mut self.xr
     }
+
+    fn scaled_pair(&mut self, n: usize) -> (&mut [f64], &mut [f64]) {
+        self.xr.clear();
+        self.xr.resize(n, 0.0);
+        self.xr2.clear();
+        self.xr2.resize(n, 0.0);
+        (&mut self.xr, &mut self.xr2)
+    }
 }
 
 /// An SVR model compiled for low-latency inference: flat support-vector
-/// storage, zero-coefficient vectors pruned, fused scale → kernel → bias →
-/// target-inverse evaluation.
+/// storage (row-major and lane-padded SoA), zero-coefficient vectors
+/// pruned, fused scale → kernel → bias → target-inverse evaluation.
 #[derive(Debug, Clone)]
 pub struct CompiledSvr {
     kernel: Kernel,
     gamma: f64,
-    /// Support vectors, row-major, `coef.len() * n_features` values.
+    /// Support vectors, row-major, `coef.len() * n_features` values
+    /// (reference-order baseline path).
     sv: Vec<f64>,
     coef: Vec<f64>,
+    /// Lane-padded SoA blocks: `n_blocks * n_features * LANES` values.
+    /// Block `b`, feature `k`, lane `l` lives at
+    /// `b * n_features * LANES + k * LANES + l` and holds feature `k` of
+    /// support vector `b * LANES + l` (zero beyond the last real vector).
+    sv_lanes: Vec<f64>,
+    /// Coefficients padded with zeros to `n_blocks * LANES`.
+    coef_lanes: Vec<f64>,
+    /// AVX2 detected at compile() time (and not compiled out).
+    use_simd: bool,
     bias: f64,
     x_scaler: StandardScaler,
     y_scaler: TargetScaler,
@@ -93,7 +161,7 @@ pub struct CompiledSvr {
 }
 
 impl CompiledSvr {
-    /// Compiles a trained [`SvrModel`] (see module docs for the layout).
+    /// Compiles a trained [`SvrModel`] (see module docs for the layouts).
     pub fn compile(model: &SvrModel) -> Self {
         let d = model.n_features;
         let mut sv = Vec::new();
@@ -104,11 +172,24 @@ impl CompiledSvr {
                 coef.push(c);
             }
         }
+        let n_blocks = coef.len().div_ceil(LANES);
+        let mut sv_lanes = vec![0.0; n_blocks * d * LANES];
+        let mut coef_lanes = vec![0.0; n_blocks * LANES];
+        for (i, &c) in coef.iter().enumerate() {
+            let (b, l) = (i / LANES, i % LANES);
+            coef_lanes[b * LANES + l] = c;
+            for k in 0..d {
+                sv_lanes[b * d * LANES + k * LANES + l] = sv[i * d + k];
+            }
+        }
         CompiledSvr {
             kernel: model.kernel,
             gamma: model.gamma,
             sv,
             coef,
+            sv_lanes,
+            coef_lanes,
+            use_simd: simd_available(),
             bias: model.bias,
             x_scaler: model.x_scaler.clone(),
             y_scaler: model.y_scaler.clone(),
@@ -129,9 +210,91 @@ impl CompiledSvr {
     /// Predicts one (unscaled) feature row, reusing `scratch` so the call
     /// performs no heap allocation once the scratch has warmed up.
     ///
-    /// The row length is checked with a `debug_assert!` only; use
-    /// [`CompiledSvr::try_predict_into`] for a checked variant.
+    /// Runs the lane-tree kernel (AVX2 when available, scalar tree
+    /// otherwise — bit-identical either way). The row length is checked
+    /// with a `debug_assert!` only; use [`CompiledSvr::try_predict_into`]
+    /// for a checked variant.
     pub fn predict_into(&self, row: &[f64], scratch: &mut PredictScratch) -> f64 {
+        debug_assert_eq!(
+            row.len(),
+            self.n_features,
+            "compiled svr expects {} features, got {}",
+            self.n_features,
+            row.len()
+        );
+        let xr = scratch.scaled_row(self.n_features);
+        self.x_scaler.transform_row_into(row, xr);
+        self.y_scaler.inverse(self.bias + self.kernel_sum(xr))
+    }
+
+    /// Forces the unrolled scalar-tree kernel regardless of host features
+    /// (same bits as the dispatched path; used by tests and benches).
+    pub fn predict_into_scalar(&self, row: &[f64], scratch: &mut PredictScratch) -> f64 {
+        debug_assert_eq!(row.len(), self.n_features);
+        let xr = scratch.scaled_row(self.n_features);
+        self.x_scaler.transform_row_into(row, xr);
+        self.y_scaler.inverse(self.bias + self.kernel_sum_scalar(xr))
+    }
+
+    /// Forces the AVX2 kernel; `None` when it is unavailable (non-x86_64,
+    /// no AVX2, or the `force-scalar` feature). Used by the bit-identity
+    /// proptests and benches.
+    pub fn predict_into_simd(&self, row: &[f64], scratch: &mut PredictScratch) -> Option<f64> {
+        #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                debug_assert_eq!(row.len(), self.n_features);
+                let xr = scratch.scaled_row(self.n_features);
+                self.x_scaler.transform_row_into(row, xr);
+                // SAFETY: AVX2 presence was just verified.
+                let sum = unsafe { self.kernel_sum_avx2(xr) };
+                return Some(self.y_scaler.inverse(self.bias + sum));
+            }
+        }
+        let _ = (row, scratch);
+        None
+    }
+
+    /// Predicts two rows at once, sharing support-vector block loads
+    /// between them on the AVX2 path (each row keeps its own lane
+    /// accumulators and per-lane operation order, so both results are
+    /// bit-identical to two [`CompiledSvr::predict_into`] calls). This is
+    /// what makes the batched path faster than a per-row loop: the
+    /// kernel becomes arithmetic-bound instead of load-bound. Falls back
+    /// to two sequential scalar-tree calls when SIMD is unavailable.
+    pub fn predict_into_pair(
+        &self,
+        row0: &[f64],
+        row1: &[f64],
+        scratch: &mut PredictScratch,
+    ) -> (f64, f64) {
+        #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+        {
+            if self.use_simd && self.n_features > 0 {
+                debug_assert_eq!(row0.len(), self.n_features);
+                debug_assert_eq!(row1.len(), self.n_features);
+                let (xr0, xr1) = scratch.scaled_pair(self.n_features);
+                self.x_scaler.transform_row_into(row0, xr0);
+                self.x_scaler.transform_row_into(row1, xr1);
+                // SAFETY: `use_simd` is only set when AVX2 was detected.
+                let (s0, s1) = unsafe { self.kernel_sum_avx2_pair(xr0, xr1) };
+                return (
+                    self.y_scaler.inverse(self.bias + s0),
+                    self.y_scaler.inverse(self.bias + s1),
+                );
+            }
+        }
+        (
+            self.predict_into(row0, scratch),
+            self.predict_into(row1, scratch),
+        )
+    }
+
+    /// The pre-SIMD (PR 3) path: row-major storage, single left-to-right
+    /// fold in support-vector order. Bit-identical to the reference
+    /// [`SvrModel::predict`]; retained as the perf-trajectory baseline and
+    /// as the order oracle for `tests/compiled_props.rs`.
+    pub fn predict_into_unblocked(&self, row: &[f64], scratch: &mut PredictScratch) -> f64 {
         debug_assert_eq!(
             row.len(),
             self.n_features,
@@ -150,13 +313,6 @@ impl CompiledSvr {
             }
             return self.y_scaler.inverse(acc);
         }
-        // The kernel expansion mirrors `Kernel::eval`'s left-to-right
-        // `sum()` fold term for term, so the accumulated value is
-        // bit-identical to the reference path while the kernel dispatch
-        // stays out of the loop. Common (forward-selected) feature counts
-        // are dispatched to const-generic bodies whose inner loop fully
-        // unrolls — same operations in the same order, minus the per-value
-        // loop control that otherwise dominates at low dimension.
         acc = match self.kernel {
             Kernel::Linear => match d {
                 1 => self.expand_linear::<1>(acc, xr),
@@ -184,9 +340,236 @@ impl CompiledSvr {
         self.y_scaler.inverse(acc)
     }
 
+    /// Dispatched lane-tree kernel sum over the scaled row.
+    #[inline]
+    fn kernel_sum(&self, xr: &[f64]) -> f64 {
+        #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+        {
+            if self.use_simd && self.n_features > 0 {
+                // SAFETY: `use_simd` is only set when AVX2 was detected.
+                return unsafe { self.kernel_sum_avx2(xr) };
+            }
+        }
+        self.kernel_sum_scalar(xr)
+    }
+
+    /// Unrolled scalar reduction tree: eight independent lane
+    /// accumulators, per-lane ops in the exact order the AVX2 path uses.
+    fn kernel_sum_scalar(&self, xr: &[f64]) -> f64 {
+        let d = self.n_features;
+        let mut acc = [0.0f64; LANES];
+        if d == 0 {
+            // Empty kernel rows: linear dot is +0.0 (never moves a lane
+            // accumulator off +0.0); RBF is exp(-gamma·0) == 1, so each
+            // lane just sums its coefficients.
+            if matches!(self.kernel, Kernel::Rbf { .. }) {
+                for cs in self.coef_lanes.chunks_exact(LANES) {
+                    for (a, &c) in acc.iter_mut().zip(cs) {
+                        *a += c;
+                    }
+                }
+            }
+            return combine_tree(&acc);
+        }
+        let blocks = self
+            .sv_lanes
+            .chunks_exact(d * LANES)
+            .zip(self.coef_lanes.chunks_exact(LANES));
+        match self.kernel {
+            Kernel::Linear => {
+                for (block, cs) in blocks {
+                    let mut dot = [0.0f64; LANES];
+                    for (svs, &x) in block.chunks_exact(LANES).zip(xr.iter()) {
+                        for (dl, &s) in dot.iter_mut().zip(svs) {
+                            *dl += s * x;
+                        }
+                    }
+                    for ((a, &c), &dv) in acc.iter_mut().zip(cs).zip(&dot) {
+                        *a += c * dv;
+                    }
+                }
+            }
+            Kernel::Rbf { .. } => {
+                for (block, cs) in blocks {
+                    let mut sq = [0.0f64; LANES];
+                    for (svs, &x) in block.chunks_exact(LANES).zip(xr.iter()) {
+                        for (sl, &s) in sq.iter_mut().zip(svs) {
+                            let diff = s - x;
+                            *sl += diff * diff;
+                        }
+                    }
+                    for ((a, &c), &sv) in acc.iter_mut().zip(cs).zip(&sq) {
+                        *a += c * (-self.gamma * sv).exp();
+                    }
+                }
+            }
+        }
+        combine_tree(&acc)
+    }
+
+    /// AVX2 reduction tree: two 4-wide vectors per block (lanes 0–3 and
+    /// 4–7). Per lane this performs the same scalar IEEE operations in the
+    /// same order as [`CompiledSvr::kernel_sum_scalar`] — multiplies and
+    /// adds vectorize element-wise, the RBF `exp` stays scalar per lane —
+    /// so the two paths are bit-identical.
+    ///
+    /// # Safety
+    /// Callers must ensure AVX2 is available. `xr` must hold
+    /// `self.n_features > 0` values.
+    #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+    #[target_feature(enable = "avx2")]
+    unsafe fn kernel_sum_avx2(&self, xr: &[f64]) -> f64 {
+        use std::arch::x86_64::*;
+        let d = self.n_features;
+        let n_blocks = self.coef_lanes.len() / LANES;
+        let sv = self.sv_lanes.as_ptr();
+        let cf = self.coef_lanes.as_ptr();
+        let mut acc = [0.0f64; LANES];
+        match self.kernel {
+            Kernel::Linear => {
+                let mut acc_lo = _mm256_setzero_pd();
+                let mut acc_hi = _mm256_setzero_pd();
+                for b in 0..n_blocks {
+                    let base = b * d * LANES;
+                    let mut dot_lo = _mm256_setzero_pd();
+                    let mut dot_hi = _mm256_setzero_pd();
+                    for k in 0..d {
+                        let x = _mm256_set1_pd(*xr.get_unchecked(k));
+                        let p = sv.add(base + k * LANES);
+                        dot_lo = _mm256_add_pd(dot_lo, _mm256_mul_pd(_mm256_loadu_pd(p), x));
+                        dot_hi = _mm256_add_pd(dot_hi, _mm256_mul_pd(_mm256_loadu_pd(p.add(4)), x));
+                    }
+                    let cp = cf.add(b * LANES);
+                    acc_lo = _mm256_add_pd(acc_lo, _mm256_mul_pd(_mm256_loadu_pd(cp), dot_lo));
+                    acc_hi = _mm256_add_pd(acc_hi, _mm256_mul_pd(_mm256_loadu_pd(cp.add(4)), dot_hi));
+                }
+                _mm256_storeu_pd(acc.as_mut_ptr(), acc_lo);
+                _mm256_storeu_pd(acc.as_mut_ptr().add(4), acc_hi);
+            }
+            Kernel::Rbf { .. } => {
+                for b in 0..n_blocks {
+                    let base = b * d * LANES;
+                    let mut sq_lo = _mm256_setzero_pd();
+                    let mut sq_hi = _mm256_setzero_pd();
+                    for k in 0..d {
+                        let x = _mm256_set1_pd(*xr.get_unchecked(k));
+                        let p = sv.add(base + k * LANES);
+                        let dl = _mm256_sub_pd(_mm256_loadu_pd(p), x);
+                        let dh = _mm256_sub_pd(_mm256_loadu_pd(p.add(4)), x);
+                        sq_lo = _mm256_add_pd(sq_lo, _mm256_mul_pd(dl, dl));
+                        sq_hi = _mm256_add_pd(sq_hi, _mm256_mul_pd(dh, dh));
+                    }
+                    let mut sq = [0.0f64; LANES];
+                    _mm256_storeu_pd(sq.as_mut_ptr(), sq_lo);
+                    _mm256_storeu_pd(sq.as_mut_ptr().add(4), sq_hi);
+                    // Scalar exp per lane keeps bit-identity with the
+                    // scalar tree (and dominates the block cost anyway).
+                    for (l, (a, &sqv)) in acc.iter_mut().zip(&sq).enumerate() {
+                        *a += *cf.add(b * LANES + l) * (-self.gamma * sqv).exp();
+                    }
+                }
+            }
+        }
+        combine_tree(&acc)
+    }
+
+    /// Two-row AVX2 kernel: one pass over the SoA blocks computing both
+    /// rows' kernel sums, loading each support-vector lane vector once.
+    /// Per row, every lane performs the exact operation sequence of
+    /// [`CompiledSvr::kernel_sum_avx2`] — only the interleaving in time
+    /// differs — so each result is bit-identical to the single-row path.
+    ///
+    /// # Safety
+    /// Callers must ensure AVX2 is available. `xr0` and `xr1` must hold
+    /// `self.n_features > 0` values each.
+    #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+    #[target_feature(enable = "avx2")]
+    unsafe fn kernel_sum_avx2_pair(&self, xr0: &[f64], xr1: &[f64]) -> (f64, f64) {
+        use std::arch::x86_64::*;
+        let d = self.n_features;
+        let n_blocks = self.coef_lanes.len() / LANES;
+        let sv = self.sv_lanes.as_ptr();
+        let cf = self.coef_lanes.as_ptr();
+        let mut acc0 = [0.0f64; LANES];
+        let mut acc1 = [0.0f64; LANES];
+        match self.kernel {
+            Kernel::Linear => {
+                let mut a0_lo = _mm256_setzero_pd();
+                let mut a0_hi = _mm256_setzero_pd();
+                let mut a1_lo = _mm256_setzero_pd();
+                let mut a1_hi = _mm256_setzero_pd();
+                for b in 0..n_blocks {
+                    let base = b * d * LANES;
+                    let mut d0_lo = _mm256_setzero_pd();
+                    let mut d0_hi = _mm256_setzero_pd();
+                    let mut d1_lo = _mm256_setzero_pd();
+                    let mut d1_hi = _mm256_setzero_pd();
+                    for k in 0..d {
+                        let x0 = _mm256_set1_pd(*xr0.get_unchecked(k));
+                        let x1 = _mm256_set1_pd(*xr1.get_unchecked(k));
+                        let p = sv.add(base + k * LANES);
+                        let s_lo = _mm256_loadu_pd(p);
+                        let s_hi = _mm256_loadu_pd(p.add(4));
+                        d0_lo = _mm256_add_pd(d0_lo, _mm256_mul_pd(s_lo, x0));
+                        d0_hi = _mm256_add_pd(d0_hi, _mm256_mul_pd(s_hi, x0));
+                        d1_lo = _mm256_add_pd(d1_lo, _mm256_mul_pd(s_lo, x1));
+                        d1_hi = _mm256_add_pd(d1_hi, _mm256_mul_pd(s_hi, x1));
+                    }
+                    let cp = cf.add(b * LANES);
+                    let c_lo = _mm256_loadu_pd(cp);
+                    let c_hi = _mm256_loadu_pd(cp.add(4));
+                    a0_lo = _mm256_add_pd(a0_lo, _mm256_mul_pd(c_lo, d0_lo));
+                    a0_hi = _mm256_add_pd(a0_hi, _mm256_mul_pd(c_hi, d0_hi));
+                    a1_lo = _mm256_add_pd(a1_lo, _mm256_mul_pd(c_lo, d1_lo));
+                    a1_hi = _mm256_add_pd(a1_hi, _mm256_mul_pd(c_hi, d1_hi));
+                }
+                _mm256_storeu_pd(acc0.as_mut_ptr(), a0_lo);
+                _mm256_storeu_pd(acc0.as_mut_ptr().add(4), a0_hi);
+                _mm256_storeu_pd(acc1.as_mut_ptr(), a1_lo);
+                _mm256_storeu_pd(acc1.as_mut_ptr().add(4), a1_hi);
+            }
+            Kernel::Rbf { .. } => {
+                for b in 0..n_blocks {
+                    let base = b * d * LANES;
+                    let mut sq0_lo = _mm256_setzero_pd();
+                    let mut sq0_hi = _mm256_setzero_pd();
+                    let mut sq1_lo = _mm256_setzero_pd();
+                    let mut sq1_hi = _mm256_setzero_pd();
+                    for k in 0..d {
+                        let x0 = _mm256_set1_pd(*xr0.get_unchecked(k));
+                        let x1 = _mm256_set1_pd(*xr1.get_unchecked(k));
+                        let p = sv.add(base + k * LANES);
+                        let s_lo = _mm256_loadu_pd(p);
+                        let s_hi = _mm256_loadu_pd(p.add(4));
+                        let e0_lo = _mm256_sub_pd(s_lo, x0);
+                        let e0_hi = _mm256_sub_pd(s_hi, x0);
+                        let e1_lo = _mm256_sub_pd(s_lo, x1);
+                        let e1_hi = _mm256_sub_pd(s_hi, x1);
+                        sq0_lo = _mm256_add_pd(sq0_lo, _mm256_mul_pd(e0_lo, e0_lo));
+                        sq0_hi = _mm256_add_pd(sq0_hi, _mm256_mul_pd(e0_hi, e0_hi));
+                        sq1_lo = _mm256_add_pd(sq1_lo, _mm256_mul_pd(e1_lo, e1_lo));
+                        sq1_hi = _mm256_add_pd(sq1_hi, _mm256_mul_pd(e1_hi, e1_hi));
+                    }
+                    let mut sq0 = [0.0f64; LANES];
+                    let mut sq1 = [0.0f64; LANES];
+                    _mm256_storeu_pd(sq0.as_mut_ptr(), sq0_lo);
+                    _mm256_storeu_pd(sq0.as_mut_ptr().add(4), sq0_hi);
+                    _mm256_storeu_pd(sq1.as_mut_ptr(), sq1_lo);
+                    _mm256_storeu_pd(sq1.as_mut_ptr().add(4), sq1_hi);
+                    for l in 0..LANES {
+                        let c = *cf.add(b * LANES + l);
+                        acc0[l] += c * (-self.gamma * sq0[l]).exp();
+                        acc1[l] += c * (-self.gamma * sq1[l]).exp();
+                    }
+                }
+            }
+        }
+        (combine_tree(&acc0), combine_tree(&acc1))
+    }
+
     /// Linear-kernel expansion with the feature count fixed at compile
     /// time; the dot loop fully unrolls but keeps `Kernel::eval`'s
-    /// accumulation order, so results are bit-identical.
+    /// accumulation order, so results are bit-identical to the reference.
     fn expand_linear<const D: usize>(&self, mut acc: f64, xr: &[f64]) -> f64 {
         let xa: &[f64; D] = xr[..D].try_into().expect("scratch sized to n_features");
         for (sv, &c) in self.sv.chunks_exact(D).zip(&self.coef) {
@@ -262,19 +645,69 @@ impl CompiledSvr {
     /// Predicts a batch of rows, returning predictions in input order.
     ///
     /// Scratch buffers are reused across rows, and large batches fan out
-    /// over [`crate::par`] (one thread-local scratch per worker). Results
-    /// are bit-identical to a serial `predict` loop regardless of the
-    /// thread count.
+    /// over [`crate::par`] (one thread-local scratch per worker). The
+    /// serial path rides the pair-row kernel (shared support-vector
+    /// loads). Results are bit-identical to a serial `predict` loop
+    /// regardless of the thread count or pairing (every path runs the
+    /// same fixed-order lane tree per row).
     pub fn predict_batch<R: AsRef<[f64]> + Sync>(&self, rows: &[R]) -> Vec<f64> {
         if rows.len() >= PAR_MIN_ROWS && crate::par::threads() > 1 {
             crate::par::par_map(rows, |_, r| {
                 PredictScratch::with_thread_local(|s| self.predict_into(r.as_ref(), s))
             })
         } else {
+            let mut out = Vec::new();
             let mut scratch = PredictScratch::new();
-            rows.iter()
-                .map(|r| self.predict_into(r.as_ref(), &mut scratch))
-                .collect()
+            self.predict_batch_into(rows, &mut out, &mut scratch);
+            out
+        }
+    }
+
+    /// The reordering-error scale of a prediction on `row`, in target
+    /// units: `(|bias| + Σ|c_i·K_i|) · |target slope|`. Any regrouping of
+    /// the kernel sum — the lane tree included — agrees with the
+    /// reference left-to-right fold to within a few ULPs of this
+    /// magnitude; the tolerance tests in `tests/compiled_props.rs` are
+    /// phrased against it.
+    pub fn sum_magnitude(&self, row: &[f64], scratch: &mut PredictScratch) -> f64 {
+        let xr = scratch.scaled_row(self.n_features);
+        self.x_scaler.transform_row_into(row, xr);
+        let mut mag = self.bias.abs();
+        if self.n_features == 0 {
+            for &c in &self.coef {
+                mag += (c * self.kernel.eval(&[], &[], self.gamma)).abs();
+            }
+        } else {
+            for (sv, &c) in self.sv.chunks_exact(self.n_features).zip(&self.coef) {
+                mag += (c * self.kernel.eval(sv, xr, self.gamma)).abs();
+            }
+        }
+        mag * self.y_scaler.slope_abs()
+    }
+
+    /// Serial batched prediction into a caller-owned output buffer: zero
+    /// heap allocations once `out`'s capacity and the scratch have warmed
+    /// up. Rows are processed two at a time through
+    /// [`CompiledSvr::predict_into_pair`]; same bits as a per-row
+    /// [`CompiledSvr::predict_into`] loop.
+    pub fn predict_batch_into<R: AsRef<[f64]>>(
+        &self,
+        rows: &[R],
+        out: &mut Vec<f64>,
+        scratch: &mut PredictScratch,
+    ) {
+        out.clear();
+        out.reserve(rows.len());
+        let mut i = 0;
+        while i + 1 < rows.len() {
+            let (a, b) =
+                self.predict_into_pair(rows[i].as_ref(), rows[i + 1].as_ref(), scratch);
+            out.push(a);
+            out.push(b);
+            i += 2;
+        }
+        if i < rows.len() {
+            out.push(self.predict_into(rows[i].as_ref(), scratch));
         }
     }
 }
@@ -292,9 +725,9 @@ impl Model for CompiledSvr {
 /// A trained model compiled for low-latency inference.
 ///
 /// Linear models are already a flat weight vector, so they pass through
-/// unchanged; SVR models get the flat/pruned/fused treatment of
-/// [`CompiledSvr`]. Predictions are bit-identical to the source
-/// [`crate::TrainedModel`].
+/// unchanged (bit-identical to their trained form); SVR models get the
+/// lane-padded/pruned/fused treatment of [`CompiledSvr`] and its
+/// fixed-reduction-tree numeric contract (see the module docs).
 #[derive(Debug, Clone)]
 pub enum CompiledModel {
     /// Compiled linear model (identical to its trained form).
@@ -331,6 +764,26 @@ impl CompiledModel {
         match self {
             CompiledModel::Linear(m) => m.predict_batch(rows),
             CompiledModel::Svr(m) => m.predict_batch(rows),
+        }
+    }
+
+    /// Serial batched prediction into a caller-owned buffer; zero heap
+    /// allocations at steady state for both variants.
+    pub fn predict_batch_into<R: AsRef<[f64]>>(
+        &self,
+        rows: &[R],
+        out: &mut Vec<f64>,
+        scratch: &mut PredictScratch,
+    ) {
+        match self {
+            CompiledModel::Linear(m) => {
+                out.clear();
+                out.reserve(rows.len());
+                for r in rows {
+                    out.push(m.predict(r.as_ref()));
+                }
+            }
+            CompiledModel::Svr(m) => m.predict_batch_into(rows, out, scratch),
         }
     }
 }
@@ -376,23 +829,58 @@ mod tests {
         (x, m)
     }
 
+    fn probe_rows(x: &Dataset) -> Vec<Vec<f64>> {
+        let mut rows: Vec<Vec<f64>> = x.rows().map(<[f64]>::to_vec).collect();
+        rows.push(vec![100.0, 3.5, -2.0]);
+        rows.push(vec![-7.0, 0.0, 0.25]);
+        rows
+    }
+
     #[test]
-    fn compiled_matches_reference_bit_for_bit() {
+    fn unblocked_matches_reference_bit_for_bit() {
         for kernel in [Kernel::Linear, Kernel::Rbf { gamma: 0.0 }] {
             let (x, m) = fitted(kernel);
             let c = CompiledSvr::compile(&m);
             let mut scratch = PredictScratch::new();
-            for row in x.rows() {
+            for row in probe_rows(&x) {
                 assert_eq!(
-                    m.predict(row).to_bits(),
-                    c.predict_into(row, &mut scratch).to_bits()
+                    m.predict(&row).to_bits(),
+                    c.predict_into_unblocked(&row, &mut scratch).to_bits()
                 );
             }
-            // Probe rows outside the training set too.
-            for probe in [[100.0, 3.5, -2.0], [-7.0, 0.0, 0.25]] {
-                assert_eq!(
-                    m.predict(&probe).to_bits(),
-                    c.predict_into(&probe, &mut scratch).to_bits()
+        }
+    }
+
+    #[test]
+    fn lane_tree_paths_agree_bit_for_bit() {
+        for kernel in [Kernel::Linear, Kernel::Rbf { gamma: 0.0 }] {
+            let (x, m) = fitted(kernel);
+            let c = CompiledSvr::compile(&m);
+            let mut scratch = PredictScratch::new();
+            for row in probe_rows(&x) {
+                let dispatched = c.predict_into(&row, &mut scratch);
+                let scalar = c.predict_into_scalar(&row, &mut scratch);
+                assert_eq!(dispatched.to_bits(), scalar.to_bits());
+                if let Some(simd) = c.predict_into_simd(&row, &mut scratch) {
+                    assert_eq!(scalar.to_bits(), simd.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_tree_stays_within_reorder_tolerance_of_reference() {
+        for kernel in [Kernel::Linear, Kernel::Rbf { gamma: 0.0 }] {
+            let (x, m) = fitted(kernel);
+            let c = CompiledSvr::compile(&m);
+            let mut scratch = PredictScratch::new();
+            for row in probe_rows(&x) {
+                let reference = m.predict(&row);
+                let compiled = c.predict_into(&row, &mut scratch);
+                let tol = 1e-12 * (1.0 + c.sum_magnitude(&row, &mut scratch));
+                assert!(
+                    (reference - compiled).abs() <= tol,
+                    "|{reference} - {compiled}| > {tol}"
                 );
             }
         }
@@ -400,10 +888,18 @@ mod tests {
 
     #[test]
     fn zero_coefficient_support_vectors_are_pruned_without_changing_bits() {
-        let (x, mut m) = fitted(Kernel::Rbf { gamma: 0.0 });
-        let before: Vec<u64> = x.rows().map(|r| m.predict(r).to_bits()).collect();
-        // Inject explicit zero-coefficient vectors (fit never produces them,
-        // but deserialized or hand-built models may).
+        let (x, clean) = fitted(Kernel::Rbf { gamma: 0.0 });
+        let mut scratch = PredictScratch::new();
+        let cc = CompiledSvr::compile(&clean);
+        let before: Vec<u64> = x
+            .rows()
+            .map(|r| cc.predict_into(r, &mut scratch).to_bits())
+            .collect();
+        // Inject explicit zero-coefficient vectors (fit never produces
+        // them, but deserialized or hand-built models may). Pruning runs
+        // before lane assignment, so the padded layout — and the bits —
+        // match the clean compile exactly.
+        let mut m = clean.clone();
         let fake = vec![0.5; m.n_features];
         m.support_vectors.insert(0, fake.clone());
         m.coefficients.insert(0, 0.0);
@@ -411,7 +907,6 @@ mod tests {
         m.coefficients.push(-0.0);
         let c = CompiledSvr::compile(&m);
         assert_eq!(c.n_support_vectors(), m.n_support_vectors() - 2);
-        let mut scratch = PredictScratch::new();
         for (row, &bits) in x.rows().zip(&before) {
             assert_eq!(c.predict_into(row, &mut scratch).to_bits(), bits);
         }
@@ -424,9 +919,19 @@ mod tests {
         let rows: Vec<&[f64]> = x.rows().collect();
         let batch = c.predict_batch(&rows);
         assert_eq!(batch.len(), rows.len());
+        let mut scratch = PredictScratch::new();
         for (row, got) in rows.iter().zip(&batch) {
-            assert_eq!(m.predict(row).to_bits(), got.to_bits());
+            assert_eq!(
+                c.predict_into(row, &mut scratch).to_bits(),
+                got.to_bits()
+            );
         }
+        let mut out = Vec::new();
+        c.predict_batch_into(&rows, &mut out, &mut scratch);
+        assert_eq!(
+            batch.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            out.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -447,13 +952,15 @@ mod tests {
     #[test]
     fn trained_model_compile_dispatches_both_variants() {
         let (x, m) = fitted(Kernel::Linear);
+        let c = m.compile();
         let tm = TrainedModel::Svr(m);
         let cm = tm.compile();
         assert!(matches!(cm, CompiledModel::Svr(_)));
         let row = x.row(3);
+        // The wrapper runs the same compiled kernel as the bare CompiledSvr.
         assert_eq!(
-            crate::Model::predict(&tm, row).to_bits(),
-            crate::Model::predict(&cm, row).to_bits()
+            crate::Model::predict(&cm, row).to_bits(),
+            c.predict(row).to_bits()
         );
 
         let lm = TrainedModel::Linear(LinearModel {
@@ -461,6 +968,7 @@ mod tests {
             weights: vec![2.0, 3.0],
         });
         let clm = lm.compile();
+        // Linear models pass through compilation unchanged.
         assert_eq!(
             crate::Model::predict(&lm, &[4.0, 5.0]).to_bits(),
             crate::Model::predict(&clm, &[4.0, 5.0]).to_bits()

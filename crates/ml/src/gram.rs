@@ -46,10 +46,13 @@ pub struct GramCacheStats {
     pub entries: usize,
 }
 
+/// Cached matrices plus the total number of cached floats (for the
+/// capacity bound).
+type GramMap = (HashMap<GramKey, Arc<Vec<f64>>>, usize);
+
 /// A content-addressed cache of Gram matrices; see the module docs.
 pub struct GramCache {
-    /// Map plus the total number of cached floats (for the capacity bound).
-    map: Mutex<(HashMap<GramKey, Arc<Vec<f64>>>, usize)>,
+    map: Mutex<GramMap>,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }

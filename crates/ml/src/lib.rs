@@ -166,9 +166,11 @@ impl TrainedModel {
         }
     }
 
-    /// Compiles this model for low-latency inference; predictions from the
-    /// compiled form are bit-identical to this model's (see
-    /// [`compiled`]).
+    /// Compiles this model for low-latency inference (see [`compiled`]).
+    /// Linear models pass through bit-identically; the compiled SVR
+    /// kernel uses a fixed reduction-tree order, deterministic and
+    /// thread-count independent but agreeing with this model only to
+    /// summation-reordering rounding.
     pub fn compile(&self) -> CompiledModel {
         match self {
             TrainedModel::Linear(m) => CompiledModel::Linear(m.clone()),
@@ -176,8 +178,9 @@ impl TrainedModel {
         }
     }
 
-    /// Predicts a batch of rows in input order, bit-identical to a serial
-    /// [`Model::predict`] loop; large batches fan out over [`par`].
+    /// Predicts a batch of rows in input order via the compiled path,
+    /// bit-identical to a serial *compiled* predict loop; large batches
+    /// fan out over [`par`].
     pub fn predict_batch<R: AsRef<[f64]> + Sync>(&self, rows: &[R]) -> Vec<f64> {
         match self {
             TrainedModel::Linear(m) => m.predict_batch(rows),

@@ -152,15 +152,15 @@ fn nu_smo_solve(xs: &Dataset, ys: &[f64], p: &NuSvrParams, gamma: f64) -> (Vec<f
         dot
     };
     let dots: Vec<f64> = if l >= 256 && crate::par::threads() > 1 {
-        crate::par::par_map_n(l, &dot_of)
+        crate::par::par_map_n(l, dot_of)
     } else {
         (0..l).map(dot_of).collect()
     };
     let mut g = vec![0.0f64; 2 * l];
-    for t in 0..2 * l {
+    for (t, gt) in g.iter_mut().enumerate() {
         let ti = t % l;
         let s = if t < l { 1.0 } else { -1.0 };
-        g[t] = s * dots[ti] + if t < l { -ys[ti] } else { ys[ti] };
+        *gt = s * dots[ti] + if t < l { -ys[ti] } else { ys[ti] };
     }
 
     let mut converged = false;

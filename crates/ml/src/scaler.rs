@@ -111,6 +111,14 @@ impl TargetScaler {
     pub fn is_finite(&self) -> bool {
         self.mean.is_finite() && self.std.is_finite() && self.std != 0.0
     }
+
+    /// Magnitude of the inverse transform's slope. A perturbation of `e`
+    /// in scaled-target space becomes `e * slope_abs()` after
+    /// [`TargetScaler::inverse`]; the compiled-path tolerance tests use
+    /// this to map kernel-sum reordering error into target units.
+    pub fn slope_abs(&self) -> f64 {
+        self.std.abs()
+    }
 }
 
 #[cfg(test)]

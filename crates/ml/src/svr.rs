@@ -343,6 +343,39 @@ pub struct SvrModel {
 }
 
 impl SvrModel {
+    /// Assembles a model from raw parts. Fitting ([`Svr::fit`]) and
+    /// snapshot deserialization are the production paths; this exists so
+    /// tests and benches can hand-build models with arbitrary
+    /// support-vector counts, arities, and coefficient patterns (the
+    /// compiled-path bit-identity proptests sweep shapes a fit would
+    /// rarely produce). Support vectors are taken as already living in
+    /// scaled space, like a fitted model's.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        kernel: Kernel,
+        gamma: f64,
+        support_vectors: Vec<Vec<f64>>,
+        coefficients: Vec<f64>,
+        bias: f64,
+        x_scaler: StandardScaler,
+        y_scaler: TargetScaler,
+        n_features: usize,
+    ) -> Self {
+        assert_eq!(support_vectors.len(), coefficients.len());
+        assert!(support_vectors.iter().all(|sv| sv.len() == n_features));
+        assert_eq!(x_scaler.n_cols(), n_features);
+        SvrModel {
+            kernel,
+            gamma,
+            support_vectors,
+            coefficients,
+            bias,
+            x_scaler,
+            y_scaler,
+            n_features,
+        }
+    }
+
     /// Predicts the target for one (unscaled) feature row.
     ///
     /// The row length is only checked with a `debug_assert!`; prediction is
@@ -375,16 +408,21 @@ impl SvrModel {
         Ok(self.predict(row))
     }
 
-    /// Compiles this model for low-latency inference (flat support-vector
-    /// storage, zero-coefficient pruning, allocation-free prediction); see
-    /// [`crate::compiled`]. Predictions are bit-identical.
+    /// Compiles this model for low-latency inference (lane-padded
+    /// support-vector storage, zero-coefficient pruning, allocation-free
+    /// prediction); see [`crate::compiled`]. The compiled kernel sums in a
+    /// fixed reduction-tree order, so its predictions agree with this
+    /// model's to summation-reordering rounding rather than bit-for-bit
+    /// (the compiled `predict_into_unblocked` keeps the exact fold order).
     pub fn compile(&self) -> crate::compiled::CompiledSvr {
         crate::compiled::CompiledSvr::compile(self)
     }
 
-    /// Predicts a batch of rows in input order, bit-identical to a serial
-    /// `predict` loop. Compiles once and amortizes scaling buffers across
-    /// the batch; large batches fan out over [`crate::par`].
+    /// Predicts a batch of rows in input order via the compiled kernel,
+    /// bit-identical to a serial *compiled* `predict` loop (see
+    /// [`crate::compiled`] for how it relates to [`SvrModel::predict`]).
+    /// Compiles once and amortizes scaling buffers across the batch;
+    /// large batches fan out over [`crate::par`].
     pub fn predict_batch<R: AsRef<[f64]> + Sync>(&self, rows: &[R]) -> Vec<f64> {
         self.compile().predict_batch(rows)
     }

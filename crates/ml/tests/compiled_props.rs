@@ -1,18 +1,31 @@
-//! Property tests for the compiled inference path: for any fitted SVR —
-//! across kernels, gamma, dimensionality (specialized and dynamic kernel
-//! expansions), and support-vector counts — the compiled model must agree
-//! with the reference model *bit for bit*, on training rows and on probe
-//! rows far outside the training region, one row at a time and in batches.
+//! Property tests for the compiled inference path's numeric contracts.
+//!
+//! For any fitted SVR — across kernels, gamma, dimensionality
+//! (specialized and dynamic expansions), and support-vector counts:
+//!
+//! - the retained unblocked path (`predict_into_unblocked`) is
+//!   **bit-identical** to the reference model (same left-to-right fold),
+//! - the dispatched lane-tree path equals the forced scalar tree **bit
+//!   for bit** (SIMD-vs-scalar identity lives in `tests/simd_props.rs`),
+//! - batches equal a serial compiled loop bit for bit, in input order,
+//! - the lane tree agrees with the reference to summation-reordering
+//!   rounding, bounded by the condition of the kernel sum
+//!   (`CompiledSvr::sum_magnitude`).
 
+// Offline builds may substitute an inert `proptest` whose macro bodies
+// compile away, which strands some imports and helpers as "unused".
+#![allow(dead_code, unused_imports)]
+
+use ml::compiled::PredictScratch;
 use ml::svr::Kernel;
-use ml::{Dataset, Model, MlError, Svr, SvrParams, TrainedModel};
+use ml::{Dataset, MlError, Model, Svr, SvrParams, TrainedModel};
 use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
     #[test]
-    fn compiled_is_bit_identical_to_reference(
+    fn compiled_contracts_hold_for_fitted_models(
         rows in proptest::collection::vec(
             proptest::collection::vec(-10.0f64..10.0, 1..10), 6..24),
         gamma in 0.01f64..2.0,
@@ -46,22 +59,40 @@ proptest! {
         prop_assert!(compiled.n_support_vectors() <= rows.len());
 
         // Training rows plus probes well outside the training region
-        // (extrapolation must not change the bit-identity contract).
+        // (extrapolation must not change the contracts).
         let mut probes = rows.clone();
         probes.push(vec![probe_scale; x.n_cols()]);
         probes.push(vec![-probe_scale; x.n_cols()]);
         probes.push(vec![0.0; x.n_cols()]);
+        let mut scratch = PredictScratch::new();
         for row in &probes {
+            let reference = model.predict(row);
+            // Unblocked keeps the reference fold order exactly.
             prop_assert_eq!(
-                model.predict(row).to_bits(),
-                compiled.predict(row).to_bits()
+                reference.to_bits(),
+                compiled.predict_into_unblocked(row, &mut scratch).to_bits()
+            );
+            // The dispatched lane tree equals the forced scalar tree.
+            let tree = compiled.predict_into(row, &mut scratch);
+            prop_assert_eq!(
+                tree.to_bits(),
+                compiled.predict_into_scalar(row, &mut scratch).to_bits()
+            );
+            // And stays within reordering rounding of the reference.
+            let tol = 1e-12 * (1.0 + compiled.sum_magnitude(row, &mut scratch));
+            prop_assert!(
+                (reference - tree).abs() <= tol,
+                "|{} - {}| > {}", reference, tree, tol
             );
         }
 
-        // Batch output equals the serial loop, in input order, through
-        // both the reference-model entry point and the compiled one.
-        let loop_bits: Vec<u64> =
-            probes.iter().map(|r| model.predict(r).to_bits()).collect();
+        // Batch output equals the serial compiled loop, in input order,
+        // through both the reference-model entry point and the compiled
+        // one, including the zero-alloc predict_batch_into form.
+        let loop_bits: Vec<u64> = probes
+            .iter()
+            .map(|r| compiled.predict_into(r, &mut scratch).to_bits())
+            .collect();
         let batch_bits: Vec<u64> = model
             .predict_batch(&probes)
             .into_iter()
@@ -74,15 +105,16 @@ proptest! {
             .map(f64::to_bits)
             .collect();
         prop_assert_eq!(&loop_bits, &compiled_batch_bits);
+        let mut out = Vec::new();
+        compiled.predict_batch_into(&probes, &mut out, &mut scratch);
+        let into_bits: Vec<u64> = out.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(&loop_bits, &into_bits);
 
-        // The TrainedModel wrapper dispatches to the same code.
+        // The TrainedModel wrapper dispatches to the same compiled code.
         let wrapped = TrainedModel::Svr(model);
         let wrapped_compiled = wrapped.compile();
-        for row in &probes {
-            prop_assert_eq!(
-                wrapped.predict(row).to_bits(),
-                wrapped_compiled.predict(row).to_bits()
-            );
+        for (row, &bits) in probes.iter().zip(&loop_bits) {
+            prop_assert_eq!(wrapped_compiled.predict(row).to_bits(), bits);
         }
 
         // Checked prediction rejects wrong arity instead of panicking.

@@ -1,0 +1,254 @@
+//! SIMD-vs-scalar bit-identity tests.
+//!
+//! The AVX2 kernel and the unrolled scalar reduction tree implement the
+//! same fixed accumulation order (see `ml::compiled`'s module docs), so
+//! their outputs must be **exactly equal** — `f64::to_bits`, not a ULP
+//! tolerance — for any model whatsoever. Models are hand-built through
+//! `SvrModel::from_parts` to sweep shapes a fit would rarely produce:
+//! arities through the specialized range and past it, support-vector
+//! counts across lane-padding boundaries (0, partial block, exact
+//! multiples of 8), zero coefficients interleaved for pruning, extreme
+//! coefficient magnitudes.
+//!
+//! The same properties run twice: a deterministic seed-grid sweep (always
+//! on), and proptest shrink-capable versions over the same generator.
+//! On hosts without AVX2 (or with `--features force-scalar`)
+//! `predict_into_simd` returns `None` and the properties degenerate to
+//! scalar-vs-dispatched identity, which must hold everywhere.
+
+// Offline builds may substitute an inert `proptest` whose macro bodies
+// compile away, which strands some imports and helpers as "unused".
+#![allow(dead_code, unused_imports)]
+
+use ml::compiled::PredictScratch;
+use ml::scaler::{StandardScaler, TargetScaler};
+use ml::svr::{Kernel, SvrModel};
+use ml::Dataset;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Raw parts of a hand-built model, kept so the pruning property can
+/// assemble a pre-pruned variant of the same model.
+#[derive(Clone)]
+struct RawModel {
+    kernel: Kernel,
+    gamma: f64,
+    sv: Vec<Vec<f64>>,
+    coef: Vec<f64>,
+    bias: f64,
+    x_scaler: StandardScaler,
+    y_scaler: TargetScaler,
+    d: usize,
+}
+
+impl RawModel {
+    fn build(&self) -> SvrModel {
+        SvrModel::from_parts(
+            self.kernel,
+            self.gamma,
+            self.sv.clone(),
+            self.coef.clone(),
+            self.bias,
+            self.x_scaler.clone(),
+            self.y_scaler.clone(),
+            self.d,
+        )
+    }
+
+    /// Same model with zero-coefficient support vectors dropped up front.
+    fn build_pruned(&self) -> SvrModel {
+        let mut sv = Vec::new();
+        let mut coef = Vec::new();
+        for (row, &c) in self.sv.iter().zip(&self.coef) {
+            if c != 0.0 {
+                sv.push(row.clone());
+                coef.push(c);
+            }
+        }
+        SvrModel::from_parts(
+            self.kernel,
+            self.gamma,
+            sv,
+            coef,
+            self.bias,
+            self.x_scaler.clone(),
+            self.y_scaler.clone(),
+            self.d,
+        )
+    }
+}
+
+/// Hand-builds a model plus probe rows from scalar draws. `d` and `n_sv`
+/// choose the shape; everything else comes from the seeded generator so
+/// the construction stays deterministic (and stub-friendly) while still
+/// covering extreme values.
+fn build_model(d: usize, n_sv: usize, seed: u64, linear: bool) -> (RawModel, Vec<Vec<f64>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gamma = rng.gen_range(0.001..3.0);
+    let bias = rng.gen_range(-1000.0..1000.0);
+    let kernel = if linear {
+        Kernel::Linear
+    } else {
+        Kernel::Rbf { gamma }
+    };
+    let sv: Vec<Vec<f64>> = (0..n_sv)
+        .map(|_| (0..d).map(|_| rng.gen_range(-100.0..100.0)).collect())
+        .collect();
+    // Coefficients mix moderate values, exact ±0.0 (pruning), and large
+    // magnitudes (reduction-order stress).
+    let coef: Vec<f64> = (0..n_sv)
+        .map(|i| match i % 6 {
+            0 => 0.0,
+            1 => -0.0,
+            2 => rng.gen_range(1e6..1e8),
+            _ => rng.gen_range(-50.0..50.0),
+        })
+        .collect();
+    // Scalers fit on synthetic spread-out data of the right arity.
+    let scaler_rows: Vec<Vec<f64>> = (0..8)
+        .map(|_| (0..d).map(|_| rng.gen_range(-20.0..20.0)).collect())
+        .collect();
+    let x_scaler = StandardScaler::fit(&Dataset::from_rows(scaler_rows));
+    let y_scaler = TargetScaler::fit(&[
+        rng.gen_range(-10.0..10.0),
+        rng.gen_range(10.0..30.0),
+        rng.gen_range(-30.0..-10.0),
+    ]);
+    let raw = RawModel {
+        kernel,
+        gamma,
+        sv,
+        coef,
+        bias,
+        x_scaler,
+        y_scaler,
+        d,
+    };
+    let probes: Vec<Vec<f64>> = (0..4)
+        .map(|_| (0..d).map(|_| rng.gen_range(-200.0..200.0)).collect())
+        .collect();
+    (raw, probes)
+}
+
+/// Core property: dispatched == scalar tree == (if available) AVX2, to
+/// the bit, on every probe; the pair-row kernel and the batched path
+/// (which rides it) must reproduce the same bits. Returns the
+/// scalar-tree bits for reuse.
+fn assert_paths_identical(model: &SvrModel, probes: &[Vec<f64>]) -> Vec<u64> {
+    let c = model.compile();
+    let mut scratch = PredictScratch::new();
+    let mut bits = Vec::with_capacity(probes.len());
+    for row in probes {
+        let scalar = c.predict_into_scalar(row, &mut scratch);
+        let dispatched = c.predict_into(row, &mut scratch);
+        assert_eq!(
+            dispatched.to_bits(),
+            scalar.to_bits(),
+            "dispatched path diverged from the scalar tree on {row:?}"
+        );
+        if let Some(simd) = c.predict_into_simd(row, &mut scratch) {
+            assert_eq!(
+                simd.to_bits(),
+                scalar.to_bits(),
+                "AVX2 diverged from the scalar tree on {row:?}"
+            );
+        }
+        bits.push(scalar.to_bits());
+    }
+    // Pair kernel: shared SV loads, per-row order preserved — every
+    // pairing (adjacent, and same-row twice) must match the single-row
+    // bits exactly.
+    for pair in probes.windows(2) {
+        let (a, b) = c.predict_into_pair(&pair[0], &pair[1], &mut scratch);
+        assert_eq!(
+            a.to_bits(),
+            c.predict_into(&pair[0], &mut scratch).to_bits(),
+            "pair kernel (first row) diverged on {:?}",
+            pair[0]
+        );
+        assert_eq!(
+            b.to_bits(),
+            c.predict_into(&pair[1], &mut scratch).to_bits(),
+            "pair kernel (second row) diverged on {:?}",
+            pair[1]
+        );
+    }
+    if let Some(row) = probes.first() {
+        let (a, b) = c.predict_into_pair(row, row, &mut scratch);
+        assert_eq!(a.to_bits(), b.to_bits(), "pair of identical rows differs");
+    }
+    // Batched path (pairs internally, including the odd tail).
+    let batch_bits: Vec<u64> = c
+        .predict_batch(probes)
+        .into_iter()
+        .map(f64::to_bits)
+        .collect();
+    assert_eq!(batch_bits, bits, "batched path diverged from per-row bits");
+    bits
+}
+
+/// Core property: dropping zero-coefficient SVs before compilation lands
+/// every survivor in the same lane, hence identical bits.
+fn assert_pruning_invariant(raw: &RawModel, probes: &[Vec<f64>]) {
+    let full_bits = assert_paths_identical(&raw.build(), probes);
+    let pruned_bits = assert_paths_identical(&raw.build_pruned(), probes);
+    assert_eq!(full_bits, pruned_bits, "pruning changed prediction bits");
+}
+
+/// Deterministic sweep: every arity around the specialization boundary ×
+/// SV counts around lane-block boundaries × several seeds. Runs in full
+/// in every environment (the proptest versions below add shrinking when
+/// the real proptest crate is present).
+#[test]
+fn simd_scalar_identity_seed_grid() {
+    for &d in &[1usize, 2, 3, 5, 6, 7, 8, 9, 12, 13] {
+        for &n_sv in &[0usize, 1, 3, 7, 8, 9, 15, 16, 17, 40] {
+            for seed in 0..4u64 {
+                for linear in [true, false] {
+                    let (raw, probes) = build_model(d, n_sv, seed ^ ((d as u64) << 8), linear);
+                    assert_paths_identical(&raw.build(), &probes);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pruning_invariance_seed_grid() {
+    for &d in &[1usize, 3, 6, 8, 11] {
+        for &n_sv in &[0usize, 5, 8, 13, 24] {
+            for seed in 100..103u64 {
+                for linear in [true, false] {
+                    let (raw, probes) = build_model(d, n_sv, seed, linear);
+                    assert_pruning_invariant(&raw, &probes);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn simd_equals_scalar_tree_exactly(
+        d in 1usize..14,
+        n_sv in 0usize..41,
+        seed in any::<u64>(),
+        linear in any::<bool>(),
+    ) {
+        let (raw, probes) = build_model(d, n_sv, seed, linear);
+        assert_paths_identical(&raw.build(), &probes);
+    }
+
+    #[test]
+    fn pruning_zero_coefficients_never_changes_bits(
+        d in 1usize..14,
+        n_sv in 0usize..41,
+        seed in any::<u64>(),
+        linear in any::<bool>(),
+    ) {
+        let (raw, probes) = build_model(d, n_sv, seed, linear);
+        assert_pruning_invariant(&raw, &probes);
+    }
+}

@@ -1,0 +1,124 @@
+//! Steady-state allocation counter for the compiled inference path.
+//!
+//! PR 3's claim — and this PR's SIMD rework must preserve it — is that
+//! `predict_into` and the batched `predict_batch_into` perform **zero
+//! heap allocations** once their scratch/output buffers have warmed up.
+//! A counting `#[global_allocator]` makes that a hard assertion instead
+//! of a doc comment. The whole check lives in one `#[test]` so the
+//! process-wide counter never races another test thread.
+
+use ml::compiled::PredictScratch;
+use ml::svr::Kernel;
+use ml::{Dataset, Svr, SvrParams};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> usize {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_prediction_allocates_nothing() {
+    // Pin to one worker so the batch path cannot spawn threads (thread
+    // spawning allocates by design; the serial batched path must not).
+    ml::par::set_threads(1);
+
+    let rows: Vec<Vec<f64>> = (0..48)
+        .map(|i| vec![i as f64, (i % 5) as f64, (i * 3 % 11) as f64])
+        .collect();
+    let y: Vec<f64> = rows.iter().map(|r| r[0] * 1.5 + r[1] * r[2] + 3.0).collect();
+    let x = Dataset::from_rows(rows.clone());
+
+    for kernel in [Kernel::Linear, Kernel::Rbf { gamma: 0.0 }] {
+        let model = Svr::new(SvrParams {
+            kernel,
+            ..SvrParams::default()
+        })
+        .fit(&x, &y)
+        .expect("fit");
+        let compiled = model.compile();
+
+        // Warm up: the scratch's scaled-row buffer grows on first use.
+        let mut scratch = PredictScratch::new();
+        let mut sink = 0.0;
+        for r in &rows {
+            sink += compiled.predict_into(r, &mut scratch);
+        }
+
+        let before = allocations();
+        for _ in 0..50 {
+            for r in &rows {
+                sink += compiled.predict_into(r, &mut scratch);
+            }
+        }
+        assert_eq!(
+            allocations(),
+            before,
+            "single-row predict_into allocated ({kernel:?})"
+        );
+
+        // Scalar tree and (where present) forced-SIMD paths share the
+        // zero-alloc property.
+        let before = allocations();
+        for r in &rows {
+            sink += compiled.predict_into_scalar(r, &mut scratch);
+            if let Some(v) = compiled.predict_into_simd(r, &mut scratch) {
+                sink += v;
+            }
+        }
+        assert_eq!(
+            allocations(),
+            before,
+            "forced kernel paths allocated ({kernel:?})"
+        );
+
+        // Batched: once `out` has capacity for the batch, repeat calls
+        // must not touch the heap.
+        let mut out = Vec::new();
+        compiled.predict_batch_into(&rows, &mut out, &mut scratch);
+        let before = allocations();
+        for _ in 0..50 {
+            compiled.predict_batch_into(&rows, &mut out, &mut scratch);
+        }
+        sink += out.iter().sum::<f64>();
+        assert_eq!(
+            allocations(),
+            before,
+            "predict_batch_into allocated ({kernel:?})"
+        );
+
+        // Keep `sink` observable so the predict loops cannot be optimized
+        // away in release test runs.
+        assert!(sink.is_finite());
+    }
+
+    ml::par::set_threads(0);
+}

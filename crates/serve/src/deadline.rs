@@ -49,7 +49,8 @@ impl Default for TierCosts {
 /// Walks [`ALL_TIERS`] most-accurate-first, so a generous budget picks
 /// Hybrid and a vanishing one falls through to the training prior.
 pub fn tier_for_budget(remaining_secs: f64, costs: &TierCosts) -> Option<PredictionTier> {
-    if !(remaining_secs > 0.0) {
+    // NaN budgets refuse too, same as the old `!(remaining > 0.0)` form.
+    if remaining_secs.is_nan() || remaining_secs <= 0.0 {
         return None;
     }
     ALL_TIERS

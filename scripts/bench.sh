@@ -1,20 +1,36 @@
 #!/usr/bin/env bash
-# Reproducible benchmark run: builds the release harness and measures the
-# training pipeline (serial vs parallel), the inference paths (reference
-# vs compiled vs batched, with bit-identity asserted in-harness), and the
-# serving front-end under closed-loop and bursty-overload load, writing
-# BENCH_pr3.json and BENCH_serve.json (optd-style {name, value, unit}
-# entries) at the repo root.
+# Reproducible benchmark run: builds the release harness and regenerates
+# every committed BENCH-v1 document at the repo root, one file per
+# harness binary, all named BENCH_<suffix>.json:
 #
-# Usage: scripts/bench.sh [OUT_PATH] [--per-template N]
+#   BENCH_pr7.json    perf_trajectory — gated kernel hot path (unblocked
+#                     baseline vs dispatched lane tree, single row and
+#                     batched), training trajectory, hybrid inference
+#   BENCH_serve.json  serve_load — serving front-end under closed-loop
+#                     and bursty-overload load
+#   BENCH_drift.json  drift_loop — drift detection / shadow-retrain /
+#                     promotion lifecycle
+#
+# Every document is validated against the BENCH-v1 schema afterwards.
+# Diff a fresh run against the committed baseline with:
+#
+#   ./target/release/bench_compare BENCH_pr7.json FRESH.json --filter kernel/
+#
+# Usage: scripts/bench.sh [--per-template N]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "==> cargo build --release -p qpp-bench"
 cargo build --release -p qpp-bench
 
-echo "==> perf_trajectory $*"
-./target/release/perf_trajectory "$@"
+echo "==> perf_trajectory BENCH_pr7.json $*"
+./target/release/perf_trajectory BENCH_pr7.json "$@"
 
-echo "==> serve_load"
+echo "==> serve_load BENCH_serve.json"
 timeout 600 ./target/release/serve_load BENCH_serve.json
+
+echo "==> drift_loop BENCH_drift.json"
+timeout 600 ./target/release/drift_loop BENCH_drift.json
+
+echo "==> bench_compare --check-schema"
+./target/release/bench_compare --check-schema BENCH_pr7.json BENCH_serve.json BENCH_drift.json

@@ -10,6 +10,19 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> kernel + arena identity gates"
+cargo test -q -p qpp-ml --test simd_props
+cargo test -q -p qpp-ml --test compiled_props
+cargo test -q -p qpp-ml --test zero_alloc
+cargo test -q -p qpp-core --test arena_props
+
+# The portable scalar tree must keep passing with the AVX2 path compiled
+# out entirely (the non-x86 / no-AVX2 configuration).
+echo "==> force-scalar matrix line"
+cargo test -q -p qpp-ml --features force-scalar --test simd_props
+cargo test -q -p qpp-ml --features force-scalar --test compiled_props
+cargo test -q -p qpp-ml --features force-scalar --test zero_alloc
+
 echo "==> cargo test -q --test parallel_determinism"
 cargo test -q --test parallel_determinism
 
@@ -37,5 +50,20 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
+
+# Perf-trajectory contract: every committed bench document must parse as
+# BENCH-v1, and a fresh kernel run must stay inside the noise band of the
+# committed baseline. The gate diffs the speedup ratios (compiled vs
+# in-binary unblocked baseline), which self-normalize across host speeds;
+# absolute rows/s stay informational.
+echo "==> BENCH-v1 schema check"
+cargo build --release -p qpp-bench
+./target/release/bench_compare --check-schema BENCH_pr7.json BENCH_serve.json BENCH_drift.json
+
+echo "==> kernel perf regression gate"
+fresh_bench="$(mktemp /tmp/bench_kernel.XXXXXX.json)"
+trap 'rm -f "$fresh_bench"' EXIT
+./target/release/perf_trajectory "$fresh_bench" --kernel-only
+./target/release/bench_compare BENCH_pr7.json "$fresh_bench" --noise 0.4 --filter kernel/speedup
 
 echo "==> OK"
