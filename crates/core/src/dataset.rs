@@ -6,7 +6,7 @@
 //! and total latency). A one-hour execution-time limit is applied when
 //! building datasets, exactly like the paper's setup.
 
-use crate::features::{node_views, plan_features, FeatureSource, NodeView};
+use crate::features::{node_views, plan_features_arena, FeatureSource, NodeView};
 use engine::faults::{DriftPlan, ExecError, FaultPlan};
 use engine::plan::PlanNode;
 use engine::recost::{recost_truth, TruthCosts};
@@ -341,8 +341,9 @@ impl QueryDataset {
         let mut kept = Vec::with_capacity(queries.len());
         for q in queries {
             let latency_ok = q.latency().is_finite() && q.latency() >= 0.0;
-            let views = q.views(FeatureSource::Estimated);
-            let features_ok = plan_features(&q.plan, &views).iter().all(|v| v.is_finite());
+            let features_ok = plan_features_arena(&q.plan, FeatureSource::Estimated, None)
+                .iter()
+                .all(|v| v.is_finite());
             if latency_ok && features_ok {
                 kept.push(q);
             } else {
@@ -482,6 +483,7 @@ fn median(values: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::features::plan_features;
 
     fn small_dataset() -> QueryDataset {
         let catalog = Catalog::new(0.1, 1);

@@ -46,33 +46,49 @@ pub fn node_views(
     truth_costs: Option<&TruthCosts>,
 ) -> Vec<NodeView> {
     let nodes = plan.preorder();
+    let mut out = Vec::new();
+    node_views_into(&nodes, source, truth_costs, &mut out);
+    out
+}
+
+/// [`node_views`] over an already-flattened pre-order node slice
+/// (typically [`engine::arena::PlanArena::nodes`]), filling a
+/// caller-owned buffer so batch extraction reuses one allocation across
+/// plans instead of building a fresh `Vec` per query.
+pub fn node_views_into(
+    nodes: &[&PlanNode],
+    source: FeatureSource,
+    truth_costs: Option<&TruthCosts>,
+    out: &mut Vec<NodeView>,
+) {
+    out.clear();
+    out.reserve(nodes.len());
     match source {
-        FeatureSource::Estimated => nodes
-            .iter()
-            .map(|n| NodeView {
-                rows: n.est.rows,
-                width: n.est.width,
-                pages: n.est.pages,
-                selectivity: n.est.selectivity,
-                startup_cost: n.est.startup_cost,
-                total_cost: n.est.total_cost,
-            })
-            .collect(),
+        FeatureSource::Estimated => {
+            for n in nodes {
+                out.push(NodeView {
+                    rows: n.est.rows,
+                    width: n.est.width,
+                    pages: n.est.pages,
+                    selectivity: n.est.selectivity,
+                    startup_cost: n.est.startup_cost,
+                    total_cost: n.est.total_cost,
+                });
+            }
+        }
         FeatureSource::Actual => {
             let tc = truth_costs.expect("actual features require truth costs");
             assert_eq!(tc.costs.len(), nodes.len(), "truth costs misaligned");
-            nodes
-                .iter()
-                .zip(&tc.costs)
-                .map(|(n, (s, t))| NodeView {
+            for (n, (s, t)) in nodes.iter().zip(&tc.costs) {
+                out.push(NodeView {
                     rows: n.truth.rows,
                     width: n.est.width,
                     pages: n.truth.pages,
                     selectivity: n.truth.selectivity,
                     startup_cost: *s,
                     total_cost: *t,
-                })
-                .collect()
+                });
+            }
         }
     }
 }
@@ -119,7 +135,19 @@ pub fn plan_features(plan: &PlanNode, views: &[NodeView]) -> Vec<f64> {
 /// [`plan_features`] over an already-flattened pre-order node slice
 /// (typically an arena fragment), aligned index-for-index with `views`.
 pub fn plan_features_slice(nodes: &[&PlanNode], views: &[NodeView]) -> Vec<f64> {
+    let mut out = vec![0.0; plan_feature_count()];
+    plan_features_into(nodes, views, &mut out);
+    out
+}
+
+/// [`plan_features_slice`] writing into a caller-owned row of exactly
+/// [`plan_feature_count`] values — the batch-assembly hot-path form,
+/// used to write SoA feature rows directly into a training matrix with
+/// no intermediate allocation. The accumulation order is identical to
+/// [`plan_features_slice`], so the values are bit-identical.
+pub fn plan_features_into(nodes: &[&PlanNode], views: &[NodeView], out: &mut [f64]) {
     assert_eq!(nodes.len(), views.len(), "views misaligned with plan");
+    assert_eq!(out.len(), plan_feature_count(), "feature row misaligned");
     let root = &views[0];
     let mut cnt = [0.0f64; ALL_OP_TYPES.len()];
     let mut rows_by_op = [0.0f64; ALL_OP_TYPES.len()];
@@ -139,17 +167,31 @@ pub fn plan_features_slice(nodes: &[&PlanNode], views: &[NodeView]) -> Vec<f64> 
         row_count += views[i].rows;
         byte_count += views[i].rows * views[i].width;
     }
-    let mut out = Vec::with_capacity(plan_feature_count());
-    out.push(root.total_cost);
-    out.push(root.startup_cost);
-    out.push(root.rows);
-    out.push(root.width);
-    out.push(nodes.len() as f64);
-    out.push(row_count);
-    out.push(byte_count);
-    out.extend_from_slice(&cnt);
-    out.extend_from_slice(&rows_by_op);
-    out
+    out[0] = root.total_cost;
+    out[1] = root.startup_cost;
+    out[2] = root.rows;
+    out[3] = root.width;
+    out[4] = nodes.len() as f64;
+    out[5] = row_count;
+    out[6] = byte_count;
+    out[7..7 + ALL_OP_TYPES.len()].copy_from_slice(&cnt);
+    out[7 + ALL_OP_TYPES.len()..].copy_from_slice(&rows_by_op);
+}
+
+/// One-shot arena-backed extraction for a whole plan: flattens the tree
+/// once and resolves views and features off the contiguous pre-order
+/// slice, replacing the recursive `preorder()` walk the boxed-tree entry
+/// points perform. Bit-identical to
+/// `plan_features(plan, &node_views(plan, source, truth_costs))`.
+pub fn plan_features_arena(
+    plan: &PlanNode,
+    source: FeatureSource,
+    truth_costs: Option<&TruthCosts>,
+) -> Vec<f64> {
+    let arena = engine::arena::PlanArena::flatten(plan);
+    let mut views = Vec::new();
+    node_views_into(arena.nodes(), source, truth_costs, &mut views);
+    plan_features_slice(arena.nodes(), &views)
 }
 
 /// Names of the Table-2 operator-level features, aligned with
@@ -272,6 +314,40 @@ mod tests {
         assert_eq!(f[5], 1.0); // st1
         assert_eq!(f[6], 5.0); // rt1
         assert_eq!(f[7], 0.0); // st2 absent
+    }
+
+    #[test]
+    fn arena_sweep_matches_boxed_walk_bitwise() {
+        for t in [1u8, 3, 5, 6, 18] {
+            let p = plan(t);
+            let tc = engine::recost_truth(&p, 8.0 * 1024.0 * 1024.0);
+            for (source, costs) in [
+                (FeatureSource::Estimated, None),
+                (FeatureSource::Actual, Some(&tc)),
+            ] {
+                let boxed = plan_features(&p, &node_views(&p, source, costs));
+                let arena = plan_features_arena(&p, source, costs);
+                assert_eq!(
+                    boxed.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    arena.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "template {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn views_buffer_is_reusable_across_plans() {
+        let mut views = Vec::new();
+        let a = plan(1);
+        let arena_a = engine::PlanArena::flatten(&a);
+        node_views_into(arena_a.nodes(), FeatureSource::Estimated, None, &mut views);
+        assert_eq!(views.len(), arena_a.len());
+        let b = plan(5);
+        let arena_b = engine::PlanArena::flatten(&b);
+        node_views_into(arena_b.nodes(), FeatureSource::Estimated, None, &mut views);
+        assert_eq!(views.len(), arena_b.len());
+        assert_eq!(views[0].total_cost, b.est.total_cost);
     }
 
     #[test]

@@ -50,7 +50,10 @@ pub use dataset::{
     CollectionConfig, CollectionReport, ExecutedQuery, QueryDataset, ONE_HOUR_SECS,
 };
 pub use error::QppError;
-pub use features::{plan_features, plan_features_slice, FeatureSource, NodeView};
+pub use features::{
+    node_views_into, plan_features, plan_features_arena, plan_features_into, plan_features_slice,
+    FeatureSource, NodeView,
+};
 pub use hybrid::{train_hybrid, HybridConfig, HybridModel, PlanOrdering};
 pub use materialize::MaterializedModels;
 pub use monitor::{DriftMonitor, ModelHealth, MonitorConfig, SloRecorder, TierState};

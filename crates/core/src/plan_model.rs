@@ -431,6 +431,14 @@ pub fn assemble(queries: &[&ExecutedQuery], source: FeatureSource) -> (Dataset, 
 }
 
 /// Assembles the design matrix with an explicit target metric.
+///
+/// One flat pre-order sweep per plan: the tree is flattened through
+/// [`engine::PlanArena::preorder_into`] into a node buffer reused across
+/// queries, node views fill a second reused buffer, and each feature row
+/// is written in place into the matrix storage
+/// ([`Dataset::push_row_with`]) — zero allocations per query once the
+/// buffers have grown. Values are bit-identical to the boxed-tree
+/// `plan_features` path.
 pub fn assemble_metric(
     queries: &[&ExecutedQuery],
     source: FeatureSource,
@@ -438,9 +446,16 @@ pub fn assemble_metric(
 ) -> (Dataset, Vec<f64>) {
     let mut x = Dataset::new(crate::features::plan_feature_count());
     let mut y = Vec::with_capacity(queries.len());
+    let mut nodes = Vec::new();
+    let mut views: Vec<NodeView> = Vec::new();
     for q in queries {
-        let views = q.views(source);
-        x.push_row(&plan_features(&q.plan, &views));
+        engine::PlanArena::preorder_into(&q.plan, &mut nodes);
+        let truth_costs = match source {
+            FeatureSource::Estimated => None,
+            FeatureSource::Actual => Some(&q.truth_costs),
+        };
+        crate::features::node_views_into(&nodes, source, truth_costs, &mut views);
+        x.push_row_with(|row| crate::features::plan_features_into(&nodes, &views, row));
         y.push(match metric {
             TargetMetric::Latency => q.latency(),
             TargetMetric::DiskIo => q.total_io_pages(),

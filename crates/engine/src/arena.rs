@@ -78,6 +78,23 @@ impl<'p> PlanArena<'p> {
         }
     }
 
+    /// Fills `out` (cleared first) with `root`'s flat pre-order node
+    /// list — the same order as [`PlanArena::nodes`] — without building
+    /// the index side-tables. Batch sweeps that only need the node slice
+    /// (e.g. feature-matrix assembly) reuse one buffer across many plans
+    /// this way, paying zero allocations per plan once the buffer has
+    /// grown to the largest tree.
+    pub fn preorder_into(root: &'p PlanNode, out: &mut Vec<&'p PlanNode>) {
+        fn walk<'p>(n: &'p PlanNode, out: &mut Vec<&'p PlanNode>) {
+            out.push(n);
+            for c in &n.children {
+                walk(c, out);
+            }
+        }
+        out.clear();
+        walk(root, out);
+    }
+
     /// Number of nodes (the root's subtree size).
     pub fn len(&self) -> usize {
         self.nodes.len()
@@ -257,6 +274,23 @@ mod tests {
                 assert!(std::ptr::eq(*a, *b));
             }
         }
+    }
+
+    #[test]
+    fn preorder_into_matches_flatten_and_reuses_buffer() {
+        let t = tree();
+        let arena = PlanArena::flatten(&t);
+        let mut buf = Vec::new();
+        PlanArena::preorder_into(&t, &mut buf);
+        assert_eq!(buf.len(), arena.len());
+        for (a, b) in buf.iter().zip(arena.nodes()) {
+            assert!(std::ptr::eq(*a, *b));
+        }
+        // A second plan through the same buffer replaces the contents.
+        let single = leaf(OpType::Sort);
+        PlanArena::preorder_into(&single, &mut buf);
+        assert_eq!(buf.len(), 1);
+        assert!(std::ptr::eq(buf[0], &single));
     }
 
     #[test]

@@ -20,7 +20,11 @@
 //! - scaling, the kernel expansion, the bias, and the target inverse run in
 //!   a single pass over a caller-provided scratch buffer
 //!   ([`CompiledSvr::predict_into`]), so a steady-state prediction performs
-//!   zero heap allocations (`tests/zero_alloc.rs` counts them).
+//!   zero heap allocations (`tests/zero_alloc.rs` counts them),
+//! - batched prediction blocks rows four at a time
+//!   ([`CompiledSvr::predict_into_quad`]): each support-vector lane vector
+//!   is loaded once and feeds four rows' accumulators, turning the
+//!   load-bound per-row loop into an arithmetic-bound sweep.
 //!
 //! # Accumulation order
 //!
@@ -66,6 +70,11 @@ pub const LANES: usize = 8;
 /// over [`crate::par`]; below it the fork-join overhead outweighs the work.
 const PAR_MIN_ROWS: usize = 64;
 
+/// Rows per parallel chunk in [`CompiledSvr::predict_batch`]: large enough
+/// that each worker amortizes its scratch over many 4-row blocks, small
+/// enough to balance uneven worker speeds.
+const BATCH_CHUNK: usize = 32;
+
 /// True when the dispatched hot path will use the AVX2 kernel on this
 /// host. Always false with the `force-scalar` feature or off x86_64.
 pub fn simd_available() -> bool {
@@ -97,6 +106,9 @@ pub struct PredictScratch {
     xr: Vec<f64>,
     /// Second scaled-row buffer for the pair-row batched kernel.
     xr2: Vec<f64>,
+    /// Third and fourth scaled-row buffers for the 4-row blocked kernel.
+    xr3: Vec<f64>,
+    xr4: Vec<f64>,
 }
 
 impl PredictScratch {
@@ -131,6 +143,20 @@ impl PredictScratch {
         self.xr2.clear();
         self.xr2.resize(n, 0.0);
         (&mut self.xr, &mut self.xr2)
+    }
+
+    #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+    #[allow(clippy::type_complexity)]
+    fn scaled_quad(&mut self, n: usize) -> (&mut [f64], &mut [f64], &mut [f64], &mut [f64]) {
+        self.xr.clear();
+        self.xr.resize(n, 0.0);
+        self.xr2.clear();
+        self.xr2.resize(n, 0.0);
+        self.xr3.clear();
+        self.xr3.resize(n, 0.0);
+        self.xr4.clear();
+        self.xr4.resize(n, 0.0);
+        (&mut self.xr, &mut self.xr2, &mut self.xr3, &mut self.xr4)
     }
 }
 
@@ -288,6 +314,49 @@ impl CompiledSvr {
             self.predict_into(row0, scratch),
             self.predict_into(row1, scratch),
         )
+    }
+
+    /// Predicts four rows at once: one pass over the SoA blocks loading
+    /// each support-vector lane vector once and feeding all four rows'
+    /// accumulators. Each row keeps its own lane accumulators and per-lane
+    /// operation order, so all four results are bit-identical to four
+    /// [`CompiledSvr::predict_into`] calls — only the interleaving in time
+    /// differs. Doubles down on the pair kernel's insight: at four rows
+    /// per support-vector load the linear kernel is fully
+    /// arithmetic-bound. Falls back to four sequential scalar-tree calls
+    /// when SIMD is unavailable.
+    pub fn predict_into_quad(
+        &self,
+        rows: [&[f64]; 4],
+        scratch: &mut PredictScratch,
+    ) -> [f64; 4] {
+        #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+        {
+            if self.use_simd && self.n_features > 0 {
+                for r in rows {
+                    debug_assert_eq!(r.len(), self.n_features);
+                }
+                let (xr0, xr1, xr2, xr3) = scratch.scaled_quad(self.n_features);
+                self.x_scaler.transform_row_into(rows[0], xr0);
+                self.x_scaler.transform_row_into(rows[1], xr1);
+                self.x_scaler.transform_row_into(rows[2], xr2);
+                self.x_scaler.transform_row_into(rows[3], xr3);
+                // SAFETY: `use_simd` is only set when AVX2 was detected.
+                let s = unsafe { self.kernel_sum_avx2_quad([xr0, xr1, xr2, xr3]) };
+                return [
+                    self.y_scaler.inverse(self.bias + s[0]),
+                    self.y_scaler.inverse(self.bias + s[1]),
+                    self.y_scaler.inverse(self.bias + s[2]),
+                    self.y_scaler.inverse(self.bias + s[3]),
+                ];
+            }
+        }
+        [
+            self.predict_into(rows[0], scratch),
+            self.predict_into(rows[1], scratch),
+            self.predict_into(rows[2], scratch),
+            self.predict_into(rows[3], scratch),
+        ]
     }
 
     /// The pre-SIMD (PR 3) path: row-major storage, single left-to-right
@@ -567,6 +636,91 @@ impl CompiledSvr {
         (combine_tree(&acc0), combine_tree(&acc1))
     }
 
+    /// Four-row AVX2 kernel: one pass over the SoA blocks computing all
+    /// four rows' kernel sums, loading each support-vector lane vector
+    /// once. Per row, every lane performs the exact operation sequence of
+    /// [`CompiledSvr::kernel_sum_avx2`] — only the interleaving in time
+    /// differs — so each result is bit-identical to the single-row path.
+    ///
+    /// # Safety
+    /// Callers must ensure AVX2 is available. Every row in `xrs` must hold
+    /// `self.n_features > 0` values.
+    #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+    #[target_feature(enable = "avx2")]
+    unsafe fn kernel_sum_avx2_quad(&self, xrs: [&[f64]; 4]) -> [f64; 4] {
+        use std::arch::x86_64::*;
+        let d = self.n_features;
+        let n_blocks = self.coef_lanes.len() / LANES;
+        let sv = self.sv_lanes.as_ptr();
+        let cf = self.coef_lanes.as_ptr();
+        let mut acc = [[0.0f64; LANES]; 4];
+        match self.kernel {
+            Kernel::Linear => {
+                let mut a_lo = [_mm256_setzero_pd(); 4];
+                let mut a_hi = [_mm256_setzero_pd(); 4];
+                for b in 0..n_blocks {
+                    let base = b * d * LANES;
+                    let mut d_lo = [_mm256_setzero_pd(); 4];
+                    let mut d_hi = [_mm256_setzero_pd(); 4];
+                    for k in 0..d {
+                        let p = sv.add(base + k * LANES);
+                        let s_lo = _mm256_loadu_pd(p);
+                        let s_hi = _mm256_loadu_pd(p.add(4));
+                        for (r, xr) in xrs.iter().enumerate() {
+                            let x = _mm256_set1_pd(*xr.get_unchecked(k));
+                            d_lo[r] = _mm256_add_pd(d_lo[r], _mm256_mul_pd(s_lo, x));
+                            d_hi[r] = _mm256_add_pd(d_hi[r], _mm256_mul_pd(s_hi, x));
+                        }
+                    }
+                    let cp = cf.add(b * LANES);
+                    let c_lo = _mm256_loadu_pd(cp);
+                    let c_hi = _mm256_loadu_pd(cp.add(4));
+                    for r in 0..4 {
+                        a_lo[r] = _mm256_add_pd(a_lo[r], _mm256_mul_pd(c_lo, d_lo[r]));
+                        a_hi[r] = _mm256_add_pd(a_hi[r], _mm256_mul_pd(c_hi, d_hi[r]));
+                    }
+                }
+                for r in 0..4 {
+                    _mm256_storeu_pd(acc[r].as_mut_ptr(), a_lo[r]);
+                    _mm256_storeu_pd(acc[r].as_mut_ptr().add(4), a_hi[r]);
+                }
+            }
+            Kernel::Rbf { .. } => {
+                for b in 0..n_blocks {
+                    let base = b * d * LANES;
+                    let mut sq_lo = [_mm256_setzero_pd(); 4];
+                    let mut sq_hi = [_mm256_setzero_pd(); 4];
+                    for k in 0..d {
+                        let p = sv.add(base + k * LANES);
+                        let s_lo = _mm256_loadu_pd(p);
+                        let s_hi = _mm256_loadu_pd(p.add(4));
+                        for (r, xr) in xrs.iter().enumerate() {
+                            let x = _mm256_set1_pd(*xr.get_unchecked(k));
+                            let e_lo = _mm256_sub_pd(s_lo, x);
+                            let e_hi = _mm256_sub_pd(s_hi, x);
+                            sq_lo[r] = _mm256_add_pd(sq_lo[r], _mm256_mul_pd(e_lo, e_lo));
+                            sq_hi[r] = _mm256_add_pd(sq_hi[r], _mm256_mul_pd(e_hi, e_hi));
+                        }
+                    }
+                    for r in 0..4 {
+                        let mut sq = [0.0f64; LANES];
+                        _mm256_storeu_pd(sq.as_mut_ptr(), sq_lo[r]);
+                        _mm256_storeu_pd(sq.as_mut_ptr().add(4), sq_hi[r]);
+                        for (l, &sqv) in sq.iter().enumerate() {
+                            acc[r][l] += *cf.add(b * LANES + l) * (-self.gamma * sqv).exp();
+                        }
+                    }
+                }
+            }
+        }
+        [
+            combine_tree(&acc[0]),
+            combine_tree(&acc[1]),
+            combine_tree(&acc[2]),
+            combine_tree(&acc[3]),
+        ]
+    }
+
     /// Linear-kernel expansion with the feature count fixed at compile
     /// time; the dot loop fully unrolls but keeps `Kernel::eval`'s
     /// accumulation order, so results are bit-identical to the reference.
@@ -645,16 +799,30 @@ impl CompiledSvr {
     /// Predicts a batch of rows, returning predictions in input order.
     ///
     /// Scratch buffers are reused across rows, and large batches fan out
-    /// over [`crate::par`] (one thread-local scratch per worker). The
-    /// serial path rides the pair-row kernel (shared support-vector
-    /// loads). Results are bit-identical to a serial `predict` loop
-    /// regardless of the thread count or pairing (every path runs the
-    /// same fixed-order lane tree per row).
+    /// over [`crate::par`] in chunks of [`BATCH_CHUNK`] rows (one
+    /// thread-local scratch per worker), so every worker rides the 4-row
+    /// blocked kernel rather than a per-row loop. The serial path is the
+    /// same quad-then-pair [`CompiledSvr::predict_batch_into`] sweep.
+    /// Results are bit-identical to a serial `predict` loop regardless of
+    /// the thread count or blocking (every path runs the same fixed-order
+    /// lane tree per row).
     pub fn predict_batch<R: AsRef<[f64]> + Sync>(&self, rows: &[R]) -> Vec<f64> {
         if rows.len() >= PAR_MIN_ROWS && crate::par::threads() > 1 {
-            crate::par::par_map(rows, |_, r| {
-                PredictScratch::with_thread_local(|s| self.predict_into(r.as_ref(), s))
-            })
+            let n_chunks = rows.len().div_ceil(BATCH_CHUNK);
+            let parts = crate::par::par_map_n(n_chunks, |ci| {
+                let lo = ci * BATCH_CHUNK;
+                let hi = (lo + BATCH_CHUNK).min(rows.len());
+                let mut part = Vec::new();
+                PredictScratch::with_thread_local(|s| {
+                    self.predict_batch_into(&rows[lo..hi], &mut part, s);
+                });
+                part
+            });
+            let mut out = Vec::with_capacity(rows.len());
+            for p in parts {
+                out.extend_from_slice(&p);
+            }
+            out
         } else {
             let mut out = Vec::new();
             let mut scratch = PredictScratch::new();
@@ -687,9 +855,10 @@ impl CompiledSvr {
 
     /// Serial batched prediction into a caller-owned output buffer: zero
     /// heap allocations once `out`'s capacity and the scratch have warmed
-    /// up. Rows are processed two at a time through
-    /// [`CompiledSvr::predict_into_pair`]; same bits as a per-row
-    /// [`CompiledSvr::predict_into`] loop.
+    /// up. Rows are processed four at a time through
+    /// [`CompiledSvr::predict_into_quad`], a leftover pair through
+    /// [`CompiledSvr::predict_into_pair`], then a single tail row; same
+    /// bits as a per-row [`CompiledSvr::predict_into`] loop.
     pub fn predict_batch_into<R: AsRef<[f64]>>(
         &self,
         rows: &[R],
@@ -699,9 +868,21 @@ impl CompiledSvr {
         out.clear();
         out.reserve(rows.len());
         let mut i = 0;
-        while i + 1 < rows.len() {
-            let (a, b) =
-                self.predict_into_pair(rows[i].as_ref(), rows[i + 1].as_ref(), scratch);
+        while i + 3 < rows.len() {
+            let q = self.predict_into_quad(
+                [
+                    rows[i].as_ref(),
+                    rows[i + 1].as_ref(),
+                    rows[i + 2].as_ref(),
+                    rows[i + 3].as_ref(),
+                ],
+                scratch,
+            );
+            out.extend_from_slice(&q);
+            i += 4;
+        }
+        if i + 1 < rows.len() {
+            let (a, b) = self.predict_into_pair(rows[i].as_ref(), rows[i + 1].as_ref(), scratch);
             out.push(a);
             out.push(b);
             i += 2;
@@ -909,6 +1090,37 @@ mod tests {
         assert_eq!(c.n_support_vectors(), m.n_support_vectors() - 2);
         for (row, &bits) in x.rows().zip(&before) {
             assert_eq!(c.predict_into(row, &mut scratch).to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn quad_kernel_matches_single_row_bits_for_all_tail_shapes() {
+        for kernel in [Kernel::Linear, Kernel::Rbf { gamma: 0.0 }] {
+            let (x, m) = fitted(kernel);
+            let c = CompiledSvr::compile(&m);
+            let rows = probe_rows(&x);
+            let mut scratch = PredictScratch::new();
+            let expect: Vec<u64> = rows
+                .iter()
+                .map(|r| c.predict_into(r, &mut scratch).to_bits())
+                .collect();
+            // Direct quad call vs four single-row calls.
+            let q = c.predict_into_quad(
+                [&rows[0], &rows[1], &rows[2], &rows[3]],
+                &mut scratch,
+            );
+            for (got, &want) in q.iter().zip(&expect) {
+                assert_eq!(got.to_bits(), want);
+            }
+            // Every batch length from 1 to 9 covers the quad loop, the
+            // leftover pair, and the single tail in all combinations.
+            let mut out = Vec::new();
+            for n in 1..=9.min(rows.len()) {
+                let slice: Vec<&[f64]> = rows[..n].iter().map(Vec::as_slice).collect();
+                c.predict_batch_into(&slice, &mut out, &mut scratch);
+                let got: Vec<u64> = out.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got, expect[..n], "batch length {n}");
+            }
         }
     }
 

@@ -13,7 +13,16 @@
 //! Eviction is wholesale: when inserting an entry would push the cache
 //! past its capacity, the whole map is cleared first. Training sets here
 //! are small and matrices are transient, so a simple bound beats LRU
-//! bookkeeping.
+//! bookkeeping. The capacity defaults to 64 MiB and can be set per
+//! process with the `QPP_GRAM_CACHE_CAP` environment variable (bytes) so
+//! long drift-loop runs can bound the resident set.
+//!
+//! Construction itself is the blocked, lane-padded SoA kernel
+//! [`compute_gram_blocked`]: the lower triangle is tiled into L1-sized
+//! row tiles written in place and each row evaluates 8 kernel columns at
+//! once, with runtime-dispatched AVX2 and an order-identical scalar
+//! fallback — bit-identical to the direct per-pair [`compute_gram`] on
+//! every path.
 
 use crate::dataset::Dataset;
 use crate::par;
@@ -23,8 +32,24 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Total `f64` entries the cache may hold before it clears itself
-/// (64 MiB worth).
+/// (64 MiB worth) when `QPP_GRAM_CACHE_CAP` doesn't override it.
 const MAX_CACHED_FLOATS: usize = 8 << 20;
+
+/// Default capacity in floats: `QPP_GRAM_CACHE_CAP` (a byte budget) when
+/// set and valid, else the built-in 64 MiB.
+fn default_cap_floats() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| cap_floats_from(std::env::var("QPP_GRAM_CACHE_CAP").ok().as_deref()))
+}
+
+/// Parses a byte budget into a float count; unset, unparsable, or
+/// smaller-than-one-float values fall back to the 64 MiB default.
+fn cap_floats_from(bytes: Option<&str>) -> usize {
+    match bytes.and_then(|s| s.trim().parse::<u64>().ok()) {
+        Some(b) if b >= 8 => (b / 8) as usize,
+        _ => MAX_CACHED_FLOATS,
+    }
+}
 
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 struct GramKey {
@@ -35,7 +60,7 @@ struct GramKey {
     gamma_bits: u64,
 }
 
-/// Counters describing cache effectiveness.
+/// Counters describing cache effectiveness and occupancy.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GramCacheStats {
     /// Lookups served from the cache.
@@ -44,6 +69,11 @@ pub struct GramCacheStats {
     pub misses: usize,
     /// Matrices currently cached.
     pub entries: usize,
+    /// Bytes currently held by cached matrices.
+    pub bytes_resident: usize,
+    /// Wholesale capacity evictions since creation (or the last
+    /// [`GramCache::clear`]).
+    pub evictions: usize,
 }
 
 /// Cached matrices plus the total number of cached floats (for the
@@ -55,15 +85,31 @@ pub struct GramCache {
     map: Mutex<GramMap>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    evictions: AtomicUsize,
+    cap_floats: usize,
 }
 
 impl GramCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default capacity (64 MiB, or the
+    /// `QPP_GRAM_CACHE_CAP` byte budget when set).
     pub fn new() -> GramCache {
+        GramCache::with_capacity_floats(default_cap_floats())
+    }
+
+    /// Creates an empty cache bounded to roughly `cap_bytes` of matrix
+    /// storage. A matrix larger than the whole budget is still computed
+    /// and returned — it just isn't retained.
+    pub fn with_capacity(cap_bytes: usize) -> GramCache {
+        GramCache::with_capacity_floats(cap_bytes / std::mem::size_of::<f64>())
+    }
+
+    fn with_capacity_floats(cap_floats: usize) -> GramCache {
         GramCache {
             map: Mutex::new((HashMap::new(), 0)),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+            cap_floats,
         }
     }
 
@@ -97,17 +143,18 @@ impl GramCache {
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let m = Arc::new(compute_gram(xs, kernel, gamma));
+        let m = Arc::new(compute_gram_blocked(xs, kernel, gamma));
         let mut guard = self
             .map
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         let (map, floats) = &mut *guard;
-        if *floats + m.len() > MAX_CACHED_FLOATS {
+        if *floats + m.len() > self.cap_floats && !map.is_empty() {
             map.clear();
             *floats = 0;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
-        if m.len() <= MAX_CACHED_FLOATS {
+        if m.len() <= self.cap_floats {
             // A racing thread may have inserted the same key; keeping the
             // existing entry is fine (identical contents by construction).
             if map.insert(key, Arc::clone(&m)).is_none() {
@@ -117,7 +164,7 @@ impl GramCache {
         m
     }
 
-    /// Current hit/miss/entry counters.
+    /// Current hit/miss/occupancy/eviction counters.
     pub fn stats(&self) -> GramCacheStats {
         let guard = self
             .map
@@ -127,6 +174,8 @@ impl GramCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: guard.0.len(),
+            bytes_resident: guard.1 * std::mem::size_of::<f64>(),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -140,6 +189,7 @@ impl GramCache {
         guard.1 = 0;
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -195,6 +245,371 @@ pub fn compute_gram(xs: &Dataset, kernel: Kernel, gamma: f64) -> Vec<f64> {
     k
 }
 
+/// Kernel columns evaluated per row — the SoA lane width.
+const GRAM_LANES: usize = 8;
+
+/// Rows per L1 tile: one 8-lane × d column block (~2 KiB at d ≈ 30) plus
+/// the tile's own row data stay cache-resident while the tile is swept.
+const TILE_ROWS: usize = 64;
+
+/// Lane-padded SoA copy of the dataset: block `b` stores rows
+/// `8b .. 8b+8` feature-major at `soa[(b*d + k)*8 + lane]`, zero-padding
+/// lanes past the last row. Padded lanes compute garbage kernel values
+/// that are never written back.
+fn pack_soa(xs: &Dataset) -> Vec<f64> {
+    let l = xs.n_rows();
+    let d = xs.n_cols();
+    let blocks = l.div_ceil(GRAM_LANES);
+    let mut soa = vec![0.0f64; blocks * d * GRAM_LANES];
+    for i in 0..l {
+        let (b, lane) = (i / GRAM_LANES, i % GRAM_LANES);
+        let row = xs.row(i);
+        for (kf, &v) in row.iter().enumerate() {
+            soa[(b * d + kf) * GRAM_LANES + lane] = v;
+        }
+    }
+    soa
+}
+
+/// Evaluates 8 kernel values `K(row, block-lane)` with one ascending-`k`
+/// accumulation per lane — the exact fold order of `Kernel::eval`, so
+/// each lane's value is bit-identical to a direct per-pair evaluation.
+fn gram_block_eval(
+    ri: &[f64],
+    block: &[f64],
+    kernel: Kernel,
+    gamma: f64,
+    use_simd: bool,
+    out: &mut [f64; GRAM_LANES],
+) {
+    #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+    if use_simd {
+        // SAFETY: the caller resolved `use_simd` via `linalg::simd_enabled`.
+        unsafe { gram_block_avx2(ri, block, kernel, gamma, out) };
+        return;
+    }
+    #[cfg(not(all(target_arch = "x86_64", not(feature = "force-scalar"))))]
+    let _ = use_simd;
+    gram_block_scalar(ri, block, kernel, gamma, out);
+}
+
+fn gram_block_scalar(
+    ri: &[f64],
+    block: &[f64],
+    kernel: Kernel,
+    gamma: f64,
+    out: &mut [f64; GRAM_LANES],
+) {
+    let mut acc = [0.0f64; GRAM_LANES];
+    match kernel {
+        Kernel::Linear => {
+            for (kf, &x) in ri.iter().enumerate() {
+                let col = &block[kf * GRAM_LANES..(kf + 1) * GRAM_LANES];
+                for lane in 0..GRAM_LANES {
+                    acc[lane] += x * col[lane];
+                }
+            }
+            *out = acc;
+        }
+        Kernel::Rbf { .. } => {
+            for (kf, &x) in ri.iter().enumerate() {
+                let col = &block[kf * GRAM_LANES..(kf + 1) * GRAM_LANES];
+                for lane in 0..GRAM_LANES {
+                    let diff = x - col[lane];
+                    acc[lane] += diff * diff;
+                }
+            }
+            for lane in 0..GRAM_LANES {
+                out[lane] = (-gamma * acc[lane]).exp();
+            }
+        }
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+#[target_feature(enable = "avx2")]
+unsafe fn gram_block_avx2(
+    ri: &[f64],
+    block: &[f64],
+    kernel: Kernel,
+    gamma: f64,
+    out: &mut [f64; GRAM_LANES],
+) {
+    use std::arch::x86_64::*;
+    let mut lo = _mm256_setzero_pd();
+    let mut hi = _mm256_setzero_pd();
+    match kernel {
+        Kernel::Linear => {
+            for (kf, &x) in ri.iter().enumerate() {
+                let xv = _mm256_set1_pd(x);
+                let p = block.as_ptr().add(kf * GRAM_LANES);
+                // Broadcast-mul-add per k, ascending: each lane performs
+                // the scalar fold's exact op sequence (no FMA).
+                lo = _mm256_add_pd(lo, _mm256_mul_pd(xv, _mm256_loadu_pd(p)));
+                hi = _mm256_add_pd(hi, _mm256_mul_pd(xv, _mm256_loadu_pd(p.add(4))));
+            }
+            _mm256_storeu_pd(out.as_mut_ptr(), lo);
+            _mm256_storeu_pd(out.as_mut_ptr().add(4), hi);
+        }
+        Kernel::Rbf { .. } => {
+            for (kf, &x) in ri.iter().enumerate() {
+                let xv = _mm256_set1_pd(x);
+                let p = block.as_ptr().add(kf * GRAM_LANES);
+                let d0 = _mm256_sub_pd(xv, _mm256_loadu_pd(p));
+                let d1 = _mm256_sub_pd(xv, _mm256_loadu_pd(p.add(4)));
+                lo = _mm256_add_pd(lo, _mm256_mul_pd(d0, d0));
+                hi = _mm256_add_pd(hi, _mm256_mul_pd(d1, d1));
+            }
+            let mut sq = [0.0f64; GRAM_LANES];
+            _mm256_storeu_pd(sq.as_mut_ptr(), lo);
+            _mm256_storeu_pd(sq.as_mut_ptr().add(4), hi);
+            // exp stays scalar per lane, matching the reference exactly.
+            for lane in 0..GRAM_LANES {
+                out[lane] = (-gamma * sq[lane]).exp();
+            }
+        }
+    }
+}
+
+/// Four rows' kernel values against one 8-lane column block in a single
+/// pass: the column vectors are loaded once per `k` and feed eight
+/// independent accumulator chains (4 rows × lo/hi), which breaks the
+/// add-latency bound a single row's two chains sit at. Each row's
+/// per-lane fold is the exact `Kernel::eval` order, so every entry is
+/// bit-identical to the one-row kernel.
+#[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+#[target_feature(enable = "avx2")]
+unsafe fn gram_block_avx2_x4(
+    rows: [&[f64]; 4],
+    block: &[f64],
+    kernel: Kernel,
+    gamma: f64,
+    out: &mut [[f64; GRAM_LANES]; 4],
+) {
+    use std::arch::x86_64::*;
+    let d = rows[0].len();
+    let (r0, r1, r2, r3) = (rows[0], rows[1], rows[2], rows[3]);
+    // Named accumulators (not an indexed array) so all eight chains live
+    // in registers for the whole loop.
+    let mut lo0 = _mm256_setzero_pd();
+    let mut lo1 = _mm256_setzero_pd();
+    let mut lo2 = _mm256_setzero_pd();
+    let mut lo3 = _mm256_setzero_pd();
+    let mut hi0 = _mm256_setzero_pd();
+    let mut hi1 = _mm256_setzero_pd();
+    let mut hi2 = _mm256_setzero_pd();
+    let mut hi3 = _mm256_setzero_pd();
+    match kernel {
+        Kernel::Linear => {
+            for kf in 0..d {
+                let p = block.as_ptr().add(kf * GRAM_LANES);
+                let c0 = _mm256_loadu_pd(p);
+                let c1 = _mm256_loadu_pd(p.add(4));
+                let x0 = _mm256_set1_pd(*r0.get_unchecked(kf));
+                let x1 = _mm256_set1_pd(*r1.get_unchecked(kf));
+                let x2 = _mm256_set1_pd(*r2.get_unchecked(kf));
+                let x3 = _mm256_set1_pd(*r3.get_unchecked(kf));
+                lo0 = _mm256_add_pd(lo0, _mm256_mul_pd(x0, c0));
+                hi0 = _mm256_add_pd(hi0, _mm256_mul_pd(x0, c1));
+                lo1 = _mm256_add_pd(lo1, _mm256_mul_pd(x1, c0));
+                hi1 = _mm256_add_pd(hi1, _mm256_mul_pd(x1, c1));
+                lo2 = _mm256_add_pd(lo2, _mm256_mul_pd(x2, c0));
+                hi2 = _mm256_add_pd(hi2, _mm256_mul_pd(x2, c1));
+                lo3 = _mm256_add_pd(lo3, _mm256_mul_pd(x3, c0));
+                hi3 = _mm256_add_pd(hi3, _mm256_mul_pd(x3, c1));
+            }
+        }
+        Kernel::Rbf { .. } => {
+            for kf in 0..d {
+                let p = block.as_ptr().add(kf * GRAM_LANES);
+                let c0 = _mm256_loadu_pd(p);
+                let c1 = _mm256_loadu_pd(p.add(4));
+                let x0 = _mm256_set1_pd(*r0.get_unchecked(kf));
+                let x1 = _mm256_set1_pd(*r1.get_unchecked(kf));
+                let x2 = _mm256_set1_pd(*r2.get_unchecked(kf));
+                let x3 = _mm256_set1_pd(*r3.get_unchecked(kf));
+                let d00 = _mm256_sub_pd(x0, c0);
+                let d01 = _mm256_sub_pd(x0, c1);
+                let d10 = _mm256_sub_pd(x1, c0);
+                let d11 = _mm256_sub_pd(x1, c1);
+                let d20 = _mm256_sub_pd(x2, c0);
+                let d21 = _mm256_sub_pd(x2, c1);
+                let d30 = _mm256_sub_pd(x3, c0);
+                let d31 = _mm256_sub_pd(x3, c1);
+                lo0 = _mm256_add_pd(lo0, _mm256_mul_pd(d00, d00));
+                hi0 = _mm256_add_pd(hi0, _mm256_mul_pd(d01, d01));
+                lo1 = _mm256_add_pd(lo1, _mm256_mul_pd(d10, d10));
+                hi1 = _mm256_add_pd(hi1, _mm256_mul_pd(d11, d11));
+                lo2 = _mm256_add_pd(lo2, _mm256_mul_pd(d20, d20));
+                hi2 = _mm256_add_pd(hi2, _mm256_mul_pd(d21, d21));
+                lo3 = _mm256_add_pd(lo3, _mm256_mul_pd(d30, d30));
+                hi3 = _mm256_add_pd(hi3, _mm256_mul_pd(d31, d31));
+            }
+        }
+    }
+    _mm256_storeu_pd(out[0].as_mut_ptr(), lo0);
+    _mm256_storeu_pd(out[0].as_mut_ptr().add(4), hi0);
+    _mm256_storeu_pd(out[1].as_mut_ptr(), lo1);
+    _mm256_storeu_pd(out[1].as_mut_ptr().add(4), hi1);
+    _mm256_storeu_pd(out[2].as_mut_ptr(), lo2);
+    _mm256_storeu_pd(out[2].as_mut_ptr().add(4), hi2);
+    _mm256_storeu_pd(out[3].as_mut_ptr(), lo3);
+    _mm256_storeu_pd(out[3].as_mut_ptr().add(4), hi3);
+    if let Kernel::Rbf { .. } = kernel {
+        // exp stays scalar per lane, matching the reference exactly.
+        for o in out.iter_mut() {
+            for v in o.iter_mut() {
+                *v = (-gamma * *v).exp();
+            }
+        }
+    }
+}
+
+/// Fills one row tile's lower-triangle entries (rows `rows.start..rows.end`,
+/// columns `0..=i` per row) directly into `slab` — the row-major window of
+/// the output matrix covering exactly those rows. Iteration is column-block
+/// outer / row inner so each 8-lane column block is reused across every row
+/// of the tile while it sits in L1. Entries right of the diagonal are left
+/// untouched; the mirror pass fills them.
+fn tile_rows_lower(
+    xs: &Dataset,
+    soa: &[f64],
+    kernel: Kernel,
+    gamma: f64,
+    use_simd: bool,
+    rows: std::ops::Range<usize>,
+    slab: &mut [f64],
+) {
+    let d = xs.n_cols();
+    let (r0, r1) = (rows.start, rows.end);
+    let l = slab.len() / (r1 - r0);
+    let mut out = [0.0f64; GRAM_LANES];
+    let max_block = (r1 - 1) / GRAM_LANES;
+    let write_lanes = |slab: &mut [f64], i: usize, j0: usize, out: &[f64; GRAM_LANES]| {
+        let row_off = (i - r0) * l;
+        let j_end = (j0 + GRAM_LANES).min(i + 1);
+        for (lane, j) in (j0..j_end).enumerate() {
+            slab[row_off + j] = out[lane];
+        }
+    };
+    for b in 0..=max_block {
+        let j0 = b * GRAM_LANES;
+        let block = &soa[b * d * GRAM_LANES..(b + 1) * d * GRAM_LANES];
+        // Rows above the block's first column don't need it (j ≤ i).
+        let mut i = r0.max(j0);
+        #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+        if use_simd {
+            // 4-row block: one column-block load feeds four rows'
+            // accumulators; each row's per-lane fold order is unchanged.
+            let mut out4 = [[0.0f64; GRAM_LANES]; 4];
+            while i + 4 <= r1 {
+                let rows4 = [xs.row(i), xs.row(i + 1), xs.row(i + 2), xs.row(i + 3)];
+                // SAFETY: `use_simd` came from `linalg::simd_enabled`.
+                unsafe { gram_block_avx2_x4(rows4, block, kernel, gamma, &mut out4) };
+                for (r, o) in out4.iter().enumerate() {
+                    write_lanes(slab, i + r, j0, o);
+                }
+                i += 4;
+            }
+        }
+        while i < r1 {
+            gram_block_eval(xs.row(i), block, kernel, gamma, use_simd, &mut out);
+            write_lanes(slab, i, j0, &out);
+            i += 1;
+        }
+    }
+}
+
+/// Raw pointer into the output matrix, shareable across the tile fan-out.
+///
+/// SAFETY (of the `Sync` impl): every task that receives a copy writes a
+/// row range no other concurrent task touches, and reads only entries no
+/// concurrent task writes, so shared access never races.
+#[derive(Clone, Copy)]
+struct MatPtr(*mut f64);
+unsafe impl Send for MatPtr {}
+unsafe impl Sync for MatPtr {}
+
+impl MatPtr {
+    /// The wrapped pointer. Going through a method (rather than the
+    /// field) makes closures capture the whole `Sync` wrapper instead of
+    /// edition-2021 field capture picking the raw pointer, which isn't.
+    fn get(self) -> *mut f64 {
+        self.0
+    }
+}
+
+/// Blocked, lane-padded SoA construction of the same matrix as
+/// [`compute_gram`]: the rows are tiled into L1-sized groups (at most
+/// [`TILE_ROWS`], shrunk when a thread pool needs more tiles to balance
+/// the triangle), each row evaluates [`GRAM_LANES`] kernel columns at
+/// once (runtime-dispatched AVX2 with an order-identical scalar
+/// fallback), and tiles fan out over [`crate::par`], each writing its
+/// lower-triangle rows **in place** — no private buffers, no merge copy.
+/// A second tiled pass mirrors the strict upper triangle, also fanned
+/// out. Neither pass reorders any entry's fold, so the result is
+/// independent of the worker count.
+///
+/// Every entry is produced by the same ascending-`k` fold as
+/// `Kernel::eval`, making this bit-identical to [`compute_gram`] on
+/// any host, under the `force-scalar` feature, and under the
+/// [`crate::linalg::set_force_scalar`] runtime override.
+pub fn compute_gram_blocked(xs: &Dataset, kernel: Kernel, gamma: f64) -> Vec<f64> {
+    let l = xs.n_rows();
+    let mut k = vec![0.0f64; l * l];
+    if l == 0 {
+        return k;
+    }
+    let soa = pack_soa(xs);
+    let use_simd = crate::linalg::simd_enabled();
+    // Lower-triangle tiles carry very uneven work (the bottom tile holds
+    // O(n_tiles) times the top one's entries), so with a thread pool the
+    // tiles are shrunk until there are ~4 per worker for the dynamic
+    // scheduler to balance, and handed out heaviest (bottom) first. Tile
+    // boundaries never change any entry's fold, only who computes it.
+    let workers = par::threads();
+    let tile_rows = if workers > 1 {
+        l.div_ceil(4 * workers).clamp(GRAM_LANES, TILE_ROWS)
+    } else {
+        TILE_ROWS
+    };
+    let n_tiles = l.div_ceil(tile_rows);
+    let kp = MatPtr(k.as_mut_ptr());
+    par::par_map_n(n_tiles, |rev| {
+        let t = n_tiles - 1 - rev;
+        let r0 = t * tile_rows;
+        let r1 = (r0 + tile_rows).min(l);
+        // SAFETY: tiles partition the rows, so each task's slab is a
+        // disjoint region of `k`, which outlives the fan-out.
+        let slab = unsafe { std::slice::from_raw_parts_mut(kp.get().add(r0 * l), (r1 - r0) * l) };
+        tile_rows_lower(xs, &soa, kernel, gamma, use_simd, r0..r1, slab);
+    });
+    // Mirror the strict upper triangle from the lower one, `MIR`-square
+    // tiles at a time so both the reads and the transposed writes stay
+    // cache-resident within each tile (the naive `k[j*l+i] = v` store
+    // during construction walks the matrix at a column stride — 4 KiB at
+    // SMO sizes — and costs more than the kernel arithmetic). Tasks own
+    // disjoint destination row bands `jb..j_hi` and read only strictly
+    // lower entries, which no mirror task writes.
+    const MIR: usize = 64;
+    par::par_map_n(l.div_ceil(MIR), |m| {
+        let p = kp.get();
+        let jb = m * MIR;
+        let j_hi = (jb + MIR).min(l);
+        for ib in (jb..l).step_by(MIR) {
+            for i in ib..(ib + MIR).min(l) {
+                for j in jb..j_hi.min(i) {
+                    // SAFETY: writes land in rows `jb..j_hi` (upper
+                    // triangle), reads come from the finished lower
+                    // triangle; the sets are disjoint across all tasks.
+                    unsafe { *p.add(j * l + i) = *p.add(i * l + j) };
+                }
+            }
+        }
+    });
+    k
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,5 +660,95 @@ mod tests {
                 assert!((k[i * l + j] - want).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn blocked_gram_matches_direct_bitwise() {
+        // Shapes straddling the lane width and the tile height.
+        for (l, d) in [(1, 1), (3, 2), (7, 5), (8, 8), (9, 3), (20, 17), (70, 4)] {
+            let rows: Vec<Vec<f64>> = (0..l)
+                .map(|i| (0..d).map(|j| ((i * 31 + j * 7) as f64 * 0.73).sin()).collect())
+                .collect();
+            let xs = Dataset::from_rows(rows);
+            for (kernel, gamma) in [(Kernel::Linear, 0.0), (Kernel::Rbf { gamma: 0.4 }, 0.4)] {
+                let direct = compute_gram(&xs, kernel, gamma);
+                let blocked = compute_gram_blocked(&xs, kernel, gamma);
+                for (a, b) in direct.iter().zip(&blocked) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "l={l} d={d} {kernel:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_lane_kernel_is_scalar_identical() {
+        // Compare the dispatched tile kernel against the scalar-forced one
+        // directly (the process-global override is exercised in the
+        // dedicated identity suite).
+        let xs = toy();
+        let l = xs.n_rows();
+        let soa = pack_soa(&xs);
+        for (kernel, gamma) in [(Kernel::Linear, 0.0), (Kernel::Rbf { gamma: 0.9 }, 0.9)] {
+            let mut dispatched = vec![0.0f64; l * l];
+            let mut scalar = vec![0.0f64; l * l];
+            tile_rows_lower(
+                &xs,
+                &soa,
+                kernel,
+                gamma,
+                crate::linalg::simd_enabled(),
+                0..l,
+                &mut dispatched,
+            );
+            tile_rows_lower(&xs, &soa, kernel, gamma, false, 0..l, &mut scalar);
+            for i in 0..l {
+                for j in 0..=i {
+                    assert_eq!(
+                        dispatched[i * l + j].to_bits(),
+                        scalar[i * l + j].to_bits(),
+                        "{kernel:?} ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_parse_handles_garbage_and_small_values() {
+        assert_eq!(cap_floats_from(None), MAX_CACHED_FLOATS);
+        assert_eq!(cap_floats_from(Some("nonsense")), MAX_CACHED_FLOATS);
+        assert_eq!(cap_floats_from(Some("0")), MAX_CACHED_FLOATS);
+        assert_eq!(cap_floats_from(Some("7")), MAX_CACHED_FLOATS);
+        assert_eq!(cap_floats_from(Some("8")), 1);
+        assert_eq!(cap_floats_from(Some(" 1048576 ")), 131_072);
+    }
+
+    #[test]
+    fn tiny_capacity_evicts_wholesale_and_counts_it() {
+        // toy() is 8 rows -> a 64-float matrix; cap fits exactly one.
+        let cache = GramCache::with_capacity(64 * 8);
+        let xs = toy();
+        let _ = cache.gram(&xs, Kernel::Linear, 0.0);
+        let s = cache.stats();
+        assert_eq!((s.entries, s.evictions), (1, 0));
+        assert_eq!(s.bytes_resident, 64 * 8);
+        // A second, different matrix exceeds the cap -> wholesale clear.
+        let _ = cache.gram(&xs, Kernel::Rbf { gamma: 0.5 }, 0.5);
+        let s = cache.stats();
+        assert_eq!((s.entries, s.evictions), (1, 1));
+        assert_eq!(s.bytes_resident, 64 * 8);
+        // clear() resets every counter, including evictions.
+        cache.clear();
+        assert_eq!(cache.stats(), GramCacheStats::default());
+    }
+
+    #[test]
+    fn oversized_matrix_is_returned_but_not_retained() {
+        let cache = GramCache::with_capacity(8); // one float: nothing fits
+        let xs = toy();
+        let m = cache.gram(&xs, Kernel::Linear, 0.0);
+        assert_eq!(m.len(), 64);
+        let s = cache.stats();
+        assert_eq!((s.entries, s.bytes_resident), (0, 0));
     }
 }

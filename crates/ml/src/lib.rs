@@ -7,7 +7,8 @@
 //! K-fold cross-validation. This crate re-implements all of that from
 //! scratch:
 //!
-//! - [`linalg`] — small dense matrices, Cholesky factorization, solves.
+//! - [`linalg`] — small dense matrices, Cholesky factorization, solves,
+//!   and the vectorized (bit-identical) SMO inner-loop primitives.
 //! - [`scaler`] — z-score standardization of feature columns.
 //! - [`linreg`] — ordinary least squares / ridge regression.
 //! - [`svr`] — epsilon-SVR with linear and RBF kernels, trained with a
@@ -25,7 +26,7 @@
 //! - [`par`] — deterministic fork-join parallelism on `std::thread::scope`
 //!   used across the training pipeline.
 //! - [`gram`] — a content-addressed cache of kernel (Gram) matrices shared
-//!   by the SMO solvers.
+//!   by the SMO solvers, built by a blocked lane-parallel SIMD kernel.
 //! - [`compiled`] — post-training compilation of trained models (flat
 //!   support-vector storage, pruning, allocation-free batch prediction)
 //!   for the low-latency inference path.

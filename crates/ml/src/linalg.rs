@@ -1,11 +1,21 @@
 //! Small dense linear algebra: just enough to solve regularized
-//! least-squares systems via Cholesky factorization.
+//! least-squares systems via Cholesky factorization, plus the vectorized
+//! SMO inner-loop primitives shared by the epsilon- and nu-SVR solvers.
 //!
 //! Training sets here are small (≤ a few thousand rows, tens of features),
 //! so normal equations with a ridge term are numerically adequate and far
 //! simpler than QR/SVD.
+//!
+//! The SMO primitives ([`grad_pair_update`], [`scan_violating`]) follow
+//! the same discipline as `ml::compiled`: every dispatched path — AVX2,
+//! unrolled scalar, parallel chunks — performs the identical per-element
+//! operation sequence, so results are bit-for-bit equal to the naive
+//! sequential loop on any host. A runtime override ([`set_force_scalar`])
+//! routes dispatch down the scalar paths so benchmarks and identity tests
+//! can compare both inside one process.
 
 use crate::MlError;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// A dense row-major matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -187,6 +197,335 @@ where
     (xtx, xty)
 }
 
+/// Runtime override forcing dispatched kernels down their scalar paths
+/// (the compile-time analogue is the `force-scalar` cargo feature).
+static FORCE_SCALAR_OVERRIDE: AtomicBool = AtomicBool::new(false);
+
+/// Routes the runtime-dispatched training kernels (blocked Gram
+/// construction, SMO gradient updates and working-set scans) down their
+/// scalar paths when `on` is true; `set_force_scalar(false)` restores
+/// normal dispatch. Every path is bit-identical, so flipping this never
+/// changes results — it exists so benchmarks and identity tests can time
+/// or compare both implementations inside one process.
+pub fn set_force_scalar(on: bool) {
+    FORCE_SCALAR_OVERRIDE.store(on, Ordering::Relaxed);
+}
+
+/// True when [`set_force_scalar`] has routed kernels to their scalar
+/// paths.
+pub fn force_scalar() -> bool {
+    FORCE_SCALAR_OVERRIDE.load(Ordering::Relaxed)
+}
+
+/// True when the AVX2 training kernels may run: compiled in (`x86_64`
+/// without the `force-scalar` feature), supported by the host, and not
+/// overridden by [`set_force_scalar`].
+pub fn simd_enabled() -> bool {
+    #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+    {
+        !force_scalar() && std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(all(target_arch = "x86_64", not(feature = "force-scalar"))))]
+    {
+        false
+    }
+}
+
+/// Applies one SMO pair step to both gradient halves:
+/// `d = ci * row_i[t] + cj * row_j[t]`, then `g_up[t] += d` and
+/// `g_down[t] -= d`. This is the per-iteration hot loop of both SMO
+/// solvers. The AVX2 path performs the same per-element multiply/add
+/// sequence (no FMA, no reassociation — the update is element-wise), so
+/// it is bit-identical to the scalar loop.
+///
+/// # Panics
+/// Panics if the four slices differ in length.
+pub fn grad_pair_update(
+    g_up: &mut [f64],
+    g_down: &mut [f64],
+    row_i: &[f64],
+    row_j: &[f64],
+    ci: f64,
+    cj: f64,
+) {
+    let l = g_up.len();
+    assert!(
+        g_down.len() == l && row_i.len() == l && row_j.len() == l,
+        "grad_pair_update length mismatch"
+    );
+    #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+    if simd_enabled() {
+        // SAFETY: AVX2 support was just checked.
+        unsafe { grad_pair_update_avx2(g_up, g_down, row_i, row_j, ci, cj) };
+        return;
+    }
+    grad_pair_update_scalar(g_up, g_down, row_i, row_j, ci, cj);
+}
+
+fn grad_pair_update_scalar(
+    g_up: &mut [f64],
+    g_down: &mut [f64],
+    row_i: &[f64],
+    row_j: &[f64],
+    ci: f64,
+    cj: f64,
+) {
+    for t in 0..g_up.len() {
+        let d = ci * row_i[t] + cj * row_j[t];
+        g_up[t] += d;
+        g_down[t] -= d;
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+#[target_feature(enable = "avx2")]
+unsafe fn grad_pair_update_avx2(
+    g_up: &mut [f64],
+    g_down: &mut [f64],
+    row_i: &[f64],
+    row_j: &[f64],
+    ci: f64,
+    cj: f64,
+) {
+    use std::arch::x86_64::*;
+    let l = g_up.len();
+    let civ = _mm256_set1_pd(ci);
+    let cjv = _mm256_set1_pd(cj);
+    let mut t = 0;
+    while t + 4 <= l {
+        let ri = _mm256_loadu_pd(row_i.as_ptr().add(t));
+        let rj = _mm256_loadu_pd(row_j.as_ptr().add(t));
+        // Same shape as the scalar body: mul, mul, add — no FMA.
+        let d = _mm256_add_pd(_mm256_mul_pd(civ, ri), _mm256_mul_pd(cjv, rj));
+        let up = _mm256_add_pd(_mm256_loadu_pd(g_up.as_ptr().add(t)), d);
+        let dn = _mm256_sub_pd(_mm256_loadu_pd(g_down.as_ptr().add(t)), d);
+        _mm256_storeu_pd(g_up.as_mut_ptr().add(t), up);
+        _mm256_storeu_pd(g_down.as_mut_ptr().add(t), dn);
+        t += 4;
+    }
+    while t < l {
+        let d = ci * row_i[t] + cj * row_j[t];
+        g_up[t] += d;
+        g_down[t] -= d;
+        t += 1;
+    }
+}
+
+/// Outcome of a max-violating-pair scan over one contiguous gradient
+/// block. Indices are local to the scanned slice and `usize::MAX` when no
+/// element was eligible (matching the sentinels the SMO loops use).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanResult {
+    /// Maximum violation value among "up"-eligible elements.
+    pub g_max: f64,
+    /// First index attaining `g_max` (`usize::MAX` when none eligible).
+    pub i_up: usize,
+    /// Minimum violation value among "low"-eligible elements.
+    pub g_min: f64,
+    /// First index attaining `g_min` (`usize::MAX` when none eligible).
+    pub i_low: usize,
+}
+
+impl ScanResult {
+    /// The neutral element: nothing selected yet.
+    pub fn empty() -> ScanResult {
+        ScanResult {
+            g_max: f64::NEG_INFINITY,
+            i_up: usize::MAX,
+            g_min: f64::INFINITY,
+            i_low: usize::MAX,
+        }
+    }
+
+    /// Folds in the result of scanning the block that *follows* this one
+    /// in index order (`offset` is the later block's starting index).
+    /// Strict comparisons keep the earlier block's winner on ties — the
+    /// sequential loop's first-occurrence rule.
+    pub fn merge_later(&mut self, later: ScanResult, offset: usize) {
+        if later.i_up != usize::MAX && later.g_max > self.g_max {
+            self.g_max = later.g_max;
+            self.i_up = later.i_up + offset;
+        }
+        if later.i_low != usize::MAX && later.g_min < self.g_min {
+            self.g_min = later.g_min;
+            self.i_low = later.i_low + offset;
+        }
+    }
+}
+
+/// Parallel fan-out threshold for [`scan_violating`]: below this many
+/// elements the per-call thread-spawn cost dwarfs the scan itself.
+const PAR_SCAN_MIN: usize = 16_384;
+/// Elements per parallel scan chunk.
+const SCAN_CHUNK: usize = 4_096;
+
+/// Working-set selection scan for the SMO solvers. For each `t` the
+/// violation value is `v = -g[t]` (or `v = g[t]` when `flipped` — used
+/// for the alpha* half of the epsilon dual, whose sign is −1, where
+/// `-s*g` reduces to `g` exactly); "up"-eligible means `a[t] < c`
+/// (flipped: `a[t] > 0`), "low"-eligible means `a[t] > 0` (flipped:
+/// `a[t] < c`). Returns the maximal `v` over up-eligible elements and
+/// the minimal `v` over low-eligible ones, each with the index of its
+/// first occurrence.
+///
+/// Bit-identical to the sequential scalar loop on every path: the AVX2
+/// pass keeps per-lane running extrema with strict compares (a lane
+/// keeps the first occurrence in its stream) and the lane combine picks
+/// strictly-better values, breaking exact ties toward the smaller index
+/// — which reconstructs the sequential first-wins rule, including the
+/// `±0.0` and NaN cases (ordered compares never select NaN, exactly as
+/// `v > g_max` never does). Large scans fan out over [`crate::par`] in
+/// fixed chunks merged in index order, so the result is independent of
+/// the worker count.
+///
+/// # Panics
+/// Panics if `a` and `g` differ in length.
+pub fn scan_violating(a: &[f64], g: &[f64], c: f64, flipped: bool) -> ScanResult {
+    assert_eq!(a.len(), g.len(), "scan_violating length mismatch");
+    let n = a.len();
+    if n >= PAR_SCAN_MIN && crate::par::threads() > 1 {
+        let n_chunks = n.div_ceil(SCAN_CHUNK);
+        let parts = crate::par::par_map_n(n_chunks, |ch| {
+            let lo = ch * SCAN_CHUNK;
+            let hi = (lo + SCAN_CHUNK).min(n);
+            scan_violating_block(&a[lo..hi], &g[lo..hi], c, flipped)
+        });
+        let mut out = ScanResult::empty();
+        for (ch, part) in parts.into_iter().enumerate() {
+            out.merge_later(part, ch * SCAN_CHUNK);
+        }
+        return out;
+    }
+    scan_violating_block(a, g, c, flipped)
+}
+
+fn scan_violating_block(a: &[f64], g: &[f64], c: f64, flipped: bool) -> ScanResult {
+    #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+    if simd_enabled() && a.len() >= 8 {
+        // SAFETY: AVX2 support was just checked.
+        return unsafe { scan_violating_avx2(a, g, c, flipped) };
+    }
+    scan_violating_scalar(a, g, c, flipped)
+}
+
+fn scan_violating_scalar(a: &[f64], g: &[f64], c: f64, flipped: bool) -> ScanResult {
+    let mut r = ScanResult::empty();
+    for t in 0..a.len() {
+        let v = if flipped { g[t] } else { -g[t] };
+        let (up_ok, low_ok) = if flipped {
+            (a[t] > 0.0, a[t] < c)
+        } else {
+            (a[t] < c, a[t] > 0.0)
+        };
+        if up_ok && v > r.g_max {
+            r.g_max = v;
+            r.i_up = t;
+        }
+        if low_ok && v < r.g_min {
+            r.g_min = v;
+            r.i_low = t;
+        }
+    }
+    r
+}
+
+#[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+#[target_feature(enable = "avx2")]
+unsafe fn scan_violating_avx2(a: &[f64], g: &[f64], c: f64, flipped: bool) -> ScanResult {
+    use std::arch::x86_64::*;
+    let n = a.len();
+    let cv = _mm256_set1_pd(c);
+    let zero = _mm256_setzero_pd();
+    let sign = _mm256_set1_pd(-0.0);
+    let neg_inf = _mm256_set1_pd(f64::NEG_INFINITY);
+    let pos_inf = _mm256_set1_pd(f64::INFINITY);
+    // Per-lane running extrema plus the (f64-encoded) index of each
+    // lane's first occurrence; an index of +inf marks "nothing selected
+    // in this lane" (an invariant: strict compares never select ∓inf, so
+    // a selected lane always carries a finite index).
+    let mut max_v = neg_inf;
+    let mut max_i = pos_inf;
+    let mut min_v = pos_inf;
+    let mut min_i = pos_inf;
+    let mut idx = _mm256_setr_pd(0.0, 1.0, 2.0, 3.0);
+    let four = _mm256_set1_pd(4.0);
+    let mut t = 0;
+    while t + 4 <= n {
+        let av = _mm256_loadu_pd(a.as_ptr().add(t));
+        let gv = _mm256_loadu_pd(g.as_ptr().add(t));
+        // Sign-bit xor is the exact unary negation the scalar loop does.
+        let v = if flipped { gv } else { _mm256_xor_pd(gv, sign) };
+        let lt_c = _mm256_cmp_pd(av, cv, _CMP_LT_OQ);
+        let gt_0 = _mm256_cmp_pd(av, zero, _CMP_GT_OQ);
+        let (up_ok, low_ok) = if flipped { (gt_0, lt_c) } else { (lt_c, gt_0) };
+        // Ineligible lanes become ∓inf so the strict compare never picks
+        // them — the same effect as the scalar eligibility guard.
+        let v_up = _mm256_blendv_pd(neg_inf, v, up_ok);
+        let v_low = _mm256_blendv_pd(pos_inf, v, low_ok);
+        let better_up = _mm256_cmp_pd(v_up, max_v, _CMP_GT_OQ);
+        max_v = _mm256_blendv_pd(max_v, v_up, better_up);
+        max_i = _mm256_blendv_pd(max_i, idx, better_up);
+        let better_low = _mm256_cmp_pd(v_low, min_v, _CMP_LT_OQ);
+        min_v = _mm256_blendv_pd(min_v, v_low, better_low);
+        min_i = _mm256_blendv_pd(min_i, idx, better_low);
+        idx = _mm256_add_pd(idx, four);
+        t += 4;
+    }
+    let mut mv = [0.0f64; 4];
+    let mut mi = [0.0f64; 4];
+    let mut nv = [0.0f64; 4];
+    let mut ni = [0.0f64; 4];
+    _mm256_storeu_pd(mv.as_mut_ptr(), max_v);
+    _mm256_storeu_pd(mi.as_mut_ptr(), max_i);
+    _mm256_storeu_pd(nv.as_mut_ptr(), min_v);
+    _mm256_storeu_pd(ni.as_mut_ptr(), min_i);
+    // Lane combine: a strictly better value wins; an exactly equal value
+    // wins only with a smaller index. Each lane holds the first
+    // occurrence of its own stream's extremum, so the smallest index
+    // among extremal lanes is the sequential first occurrence (±0.0
+    // compare equal here, matching the scalar rule where neither strictly
+    // beats the other).
+    let mut r = ScanResult::empty();
+    let mut up_if = f64::INFINITY;
+    let mut low_if = f64::INFINITY;
+    for lane in 0..4 {
+        if mv[lane] > r.g_max || (mv[lane] == r.g_max && mi[lane] < up_if) {
+            r.g_max = mv[lane];
+            up_if = mi[lane];
+        }
+        if nv[lane] < r.g_min || (nv[lane] == r.g_min && ni[lane] < low_if) {
+            r.g_min = nv[lane];
+            low_if = ni[lane];
+        }
+    }
+    if up_if.is_finite() {
+        r.i_up = up_if as usize;
+    }
+    if low_if.is_finite() {
+        r.i_low = low_if as usize;
+    }
+    // Scalar tail: these indices all exceed the vector part's, so the
+    // strict compares keep earlier winners on ties, as in one long loop.
+    while t < n {
+        let v = if flipped { g[t] } else { -g[t] };
+        let (up_ok, low_ok) = if flipped {
+            (a[t] > 0.0, a[t] < c)
+        } else {
+            (a[t] < c, a[t] > 0.0)
+        };
+        if up_ok && v > r.g_max {
+            r.g_max = v;
+            r.i_up = t;
+        }
+        if low_ok && v < r.g_min {
+            r.g_min = v;
+            r.i_low = t;
+        }
+        t += 1;
+    }
+    r
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,5 +597,117 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn dot_panics_on_mismatch() {
         dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    fn naive_grad(g_up: &mut [f64], g_down: &mut [f64], ri: &[f64], rj: &[f64], ci: f64, cj: f64) {
+        for t in 0..g_up.len() {
+            let d = ci * ri[t] + cj * rj[t];
+            g_up[t] += d;
+            g_down[t] -= d;
+        }
+    }
+
+    #[test]
+    fn grad_pair_update_matches_naive_loop_bitwise() {
+        for l in [0usize, 1, 3, 4, 7, 8, 31, 100] {
+            let ri: Vec<f64> = (0..l).map(|t| (t as f64 * 0.77).sin()).collect();
+            let rj: Vec<f64> = (0..l).map(|t| (t as f64 * 1.31).cos()).collect();
+            let base: Vec<f64> = (0..l).map(|t| t as f64 * 0.01 - 0.3).collect();
+            let (mut au, mut ad) = (base.clone(), base.clone());
+            let (mut bu, mut bd) = (base.clone(), base.clone());
+            grad_pair_update(&mut au, &mut ad, &ri, &rj, 0.37, -1.91);
+            naive_grad(&mut bu, &mut bd, &ri, &rj, 0.37, -1.91);
+            for t in 0..l {
+                assert_eq!(au[t].to_bits(), bu[t].to_bits(), "l={l} t={t}");
+                assert_eq!(ad[t].to_bits(), bd[t].to_bits(), "l={l} t={t}");
+            }
+        }
+    }
+
+    fn naive_scan(a: &[f64], g: &[f64], c: f64, flipped: bool) -> ScanResult {
+        let mut r = ScanResult::empty();
+        for t in 0..a.len() {
+            let v = if flipped { g[t] } else { -g[t] };
+            let (up_ok, low_ok) = if flipped {
+                (a[t] > 0.0, a[t] < c)
+            } else {
+                (a[t] < c, a[t] > 0.0)
+            };
+            if up_ok && v > r.g_max {
+                r.g_max = v;
+                r.i_up = t;
+            }
+            if low_ok && v < r.g_min {
+                r.g_min = v;
+                r.i_low = t;
+            }
+        }
+        r
+    }
+
+    fn assert_scan_matches(a: &[f64], g: &[f64], c: f64) {
+        for flipped in [false, true] {
+            let want = naive_scan(a, g, c, flipped);
+            let got = scan_violating(a, g, c, flipped);
+            assert_eq!(got.i_up, want.i_up, "flipped={flipped}");
+            assert_eq!(got.i_low, want.i_low, "flipped={flipped}");
+            assert_eq!(got.g_max.to_bits(), want.g_max.to_bits(), "flipped={flipped}");
+            assert_eq!(got.g_min.to_bits(), want.g_min.to_bits(), "flipped={flipped}");
+        }
+    }
+
+    #[test]
+    fn scan_violating_matches_sequential_rule() {
+        let c = 1.0;
+        for n in [0usize, 1, 4, 5, 8, 9, 16, 33, 100] {
+            let a: Vec<f64> = (0..n).map(|t| (t % 5) as f64 * 0.25).collect();
+            let g: Vec<f64> = (0..n).map(|t| ((t * 7 % 13) as f64 - 6.0) * 0.5).collect();
+            assert_scan_matches(&a, &g, c);
+        }
+    }
+
+    #[test]
+    fn scan_violating_breaks_ties_on_first_occurrence() {
+        // Repeated extrema: the sequential rule keeps the first index.
+        let a = vec![0.5; 12];
+        let g = vec![-2.0, 1.0, -2.0, 1.0, -2.0, 1.0, -2.0, 1.0, -2.0, 1.0, -2.0, 1.0];
+        assert_scan_matches(&a, &g, 1.0);
+        // Signed zeros compare equal under strict ordering; first wins.
+        let g0 = vec![0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 5.0, -5.0, 0.0, -0.0];
+        assert_scan_matches(&a, &g0, 1.0);
+    }
+
+    #[test]
+    fn scan_violating_skips_ineligible_and_nan() {
+        // Boundary alphas are ineligible on one side; NaN gradients are
+        // never selected by ordered compares.
+        let c = 1.0;
+        let a = vec![0.0, 1.0, 0.5, 0.0, 1.0, 0.5, 0.0, 1.0, 0.5, 0.25, 0.75, 0.5];
+        let mut g: Vec<f64> = (0..12).map(|t| (t as f64 - 6.0) * 0.3).collect();
+        g[2] = f64::NAN;
+        g[10] = f64::NAN;
+        assert_scan_matches(&a, &g, c);
+        // Boundary alphas shut off one side entirely: a == 0 leaves no
+        // down-candidates, a == C leaves no up-candidates.
+        let shut = vec![0.0; 9];
+        let r = scan_violating(&shut, &g[..9], c, false);
+        assert_eq!(r.i_low, usize::MAX);
+        let full = vec![1.0; 9];
+        let r = scan_violating(&full, &g[..9], c, false);
+        assert_eq!(r.i_up, usize::MAX);
+    }
+
+    #[test]
+    fn force_scalar_toggle_routes_and_restores() {
+        assert!(!force_scalar());
+        set_force_scalar(true);
+        assert!(force_scalar());
+        assert!(!simd_enabled());
+        // Paths are bit-identical, so results are toggle-agnostic.
+        let a: Vec<f64> = (0..40).map(|t| (t % 3) as f64 * 0.5).collect();
+        let g: Vec<f64> = (0..40).map(|t| (t as f64 * 0.9).sin()).collect();
+        let scalar = scan_violating(&a, &g, 1.0, false);
+        set_force_scalar(false);
+        assert_eq!(scan_violating(&a, &g, 1.0, false), scalar);
     }
 }

@@ -171,25 +171,15 @@ fn nu_smo_solve(xs: &Dataset, ys: &[f64], p: &NuSvrParams, gamma: f64) -> (Vec<f
         // m = max_{a_i < C} (-G_i), M = min_{a_j > 0} (-G_j).
         let mut best: Option<(usize, usize, f64)> = None;
         for class in 0..2usize {
-            let range = if class == 0 { 0..l } else { l..2 * l };
-            let mut i_sel = usize::MAX;
-            let mut g_max = f64::NEG_INFINITY;
-            let mut j_sel = usize::MAX;
-            let mut g_min = f64::INFINITY;
-            for t in range {
-                if a[t] < c && -g[t] > g_max {
-                    g_max = -g[t];
-                    i_sel = t;
-                }
-                if a[t] > 0.0 && -g[t] < g_min {
-                    g_min = -g[t];
-                    j_sel = t;
-                }
-            }
-            if i_sel != usize::MAX && j_sel != usize::MAX {
-                let gap = g_max - g_min;
+            let lo = if class == 0 { 0 } else { l };
+            // Each class block is one blocked SIMD scan (v = −G, up-set
+            // `a < C`, low-set `a > 0`), bit-identical to the sequential
+            // loop it replaces; indices come back block-local.
+            let r = crate::linalg::scan_violating(&a[lo..lo + l], &g[lo..lo + l], c, false);
+            if r.i_up != usize::MAX && r.i_low != usize::MAX {
+                let gap = r.g_max - r.g_min;
                 if best.map(|(_, _, bg)| gap > bg).unwrap_or(true) {
-                    best = Some((i_sel, j_sel, gap));
+                    best = Some((r.i_up + lo, r.i_low + lo, gap));
                 }
             }
         }
@@ -223,11 +213,11 @@ fn nu_smo_solve(xs: &Dataset, ys: &[f64], p: &NuSvrParams, gamma: f64) -> (Vec<f
         let row_j = &k[jj * l..(jj + 1) * l];
         let ci = si * d;
         let cj = sj * d;
-        for t in 0..l {
-            let dg = ci * row_i[t] - cj * row_j[t];
-            g[t] += dg;
-            g[t + l] -= dg;
-        }
+        // The blocked pass computes `ci*row_i + (−cj)*row_j`; negation and
+        // `x + (−y) = x − y` are exact in IEEE 754, so this matches the
+        // naive `ci*row_i[t] − cj*row_j[t]` expression bit for bit.
+        let (g_up, g_down) = g.split_at_mut(l);
+        crate::linalg::grad_pair_update(g_up, g_down, row_i, row_j, ci, -cj);
     }
 
     // Bias (libsvm calculate_rho for NU): r1 from the alpha class, r2 from

@@ -182,25 +182,15 @@ fn smo_solve(xs: &Dataset, ys: &[f64], p: &SvrParams, gamma: f64) -> (Vec<f64>, 
 
     let mut converged = false;
     for _iter in 0..p.max_iter {
-        // Working-set selection: maximal violating pair.
-        let mut i_sel = usize::MAX;
-        let mut g_max = f64::NEG_INFINITY;
-        let mut j_sel = usize::MAX;
-        let mut g_min = f64::INFINITY;
-        for t in 0..n {
-            let s = sign(t);
-            let in_up = (s > 0.0 && a[t] < c) || (s < 0.0 && a[t] > 0.0);
-            let in_low = (s > 0.0 && a[t] > 0.0) || (s < 0.0 && a[t] < c);
-            let v = -s * g[t];
-            if in_up && v > g_max {
-                g_max = v;
-                i_sel = t;
-            }
-            if in_low && v < g_min {
-                g_min = v;
-                j_sel = t;
-            }
-        }
+        // Working-set selection: maximal violating pair. The 2l scan
+        // splits at l into two sign-contiguous halves (s = +1, then
+        // s = −1 where `-s*g` reduces exactly to `g`), each a blocked
+        // SIMD pass; merging with strict comparisons preserves the
+        // sequential loop's first-wins rule bit for bit.
+        let mut sel = crate::linalg::scan_violating(&a[..l], &g[..l], c, false);
+        sel.merge_later(crate::linalg::scan_violating(&a[l..], &g[l..], c, true), l);
+        let (i_sel, j_sel) = (sel.i_up, sel.i_low);
+        let (g_max, g_min) = (sel.g_max, sel.g_min);
         if i_sel == usize::MAX || j_sel == usize::MAX || g_max - g_min < p.tol {
             converged = true;
             break;
@@ -278,16 +268,14 @@ fn smo_solve(xs: &Dataset, ys: &[f64], p: &SvrParams, gamma: f64) -> (Vec<f64>, 
         // Hoisted row slices and sign-folded step sizes: multiplying by
         // si/sj/st (all ±1) is exact in IEEE 754, so folding them into the
         // constants keeps every gradient value bit-identical to the naive
-        // per-element expression while halving the kernel lookups.
+        // per-element expression while halving the kernel lookups. The
+        // element-wise update itself runs through the blocked SIMD pass.
         let row_i = &k[ii * l..(ii + 1) * l];
         let row_j = &k[jj * l..(jj + 1) * l];
         let ci = si * da_i;
         let cj = sj * da_j;
-        for t in 0..l {
-            let d = ci * row_i[t] + cj * row_j[t];
-            g[t] += d;
-            g[t + l] -= d;
-        }
+        let (g_up, g_down) = g.split_at_mut(l);
+        crate::linalg::grad_pair_update(g_up, g_down, row_i, row_j, ci, cj);
     }
 
     // Bias: for free variables, rho = -s_t G_t equals the primal bias b.

@@ -1,0 +1,143 @@
+//! Blocked-Gram bit-identity tests.
+//!
+//! `ml::gram::compute_gram_blocked` (the cache-blocked, lane-padded SoA
+//! kernel behind `GramCache`) must be **exactly equal** — `f64::to_bits`,
+//! not a ULP tolerance — to the direct `compute_gram` reference for any
+//! dataset, because the blocked kernel performs each entry's per-lane
+//! operation sequence in `Kernel::eval`'s order (see `ml::gram`'s module
+//! docs). The property must hold under the AVX2 path, the scalar fallback
+//! (runtime `set_force_scalar` toggle and the `force-scalar` feature
+//! alike), and every thread count — the row-tile fan-out merges private
+//! triangle buffers in tile order, so parallelism never reorders a single
+//! floating-point operation.
+//!
+//! The same properties run twice: a deterministic seed-grid sweep (always
+//! on), and proptest shrink-capable versions over the same generator —
+//! mirroring `tests/simd_props.rs`.
+
+// Offline builds may substitute an inert `proptest` whose macro bodies
+// compile away, which strands some imports and helpers as "unused".
+#![allow(dead_code, unused_imports)]
+
+use ml::gram::{compute_gram, compute_gram_blocked};
+use ml::svr::Kernel;
+use ml::Dataset;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::sync::{Mutex, MutexGuard};
+
+/// The force-scalar override and the worker count are process globals;
+/// tests that sweep them serialize on this lock and restore the defaults
+/// on drop (also on panic, so one failure cannot poison its neighbors).
+static TOGGLES: Mutex<()> = Mutex::new(());
+
+struct ToggleGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl ToggleGuard {
+    fn acquire() -> ToggleGuard {
+        ToggleGuard(TOGGLES.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+impl Drop for ToggleGuard {
+    fn drop(&mut self) {
+        ml::linalg::set_force_scalar(false);
+        ml::par::set_threads(0);
+    }
+}
+
+/// Random dataset of shape `l × d` with values spanning signs and
+/// magnitudes (Gram entries then stress both the dot and the RBF paths).
+fn random_rows(l: usize, d: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<f64>> = (0..l)
+        .map(|_| (0..d).map(|_| rng.gen_range(-100.0..100.0)).collect())
+        .collect();
+    Dataset::from_rows(rows)
+}
+
+/// Core property: blocked == direct to the bit, across thread counts and
+/// both sides of the runtime force-scalar toggle.
+fn assert_blocked_matches_direct(xs: &Dataset, kernel: Kernel, gamma: f64) {
+    let _guard = ToggleGuard::acquire();
+    let direct = compute_gram(xs, kernel, gamma);
+    for threads in [1usize, 2, 4] {
+        ml::par::set_threads(threads);
+        for scalar in [false, true] {
+            ml::linalg::set_force_scalar(scalar);
+            let blocked = compute_gram_blocked(xs, kernel, gamma);
+            assert_eq!(direct.len(), blocked.len());
+            for (i, (a, b)) in direct.iter().zip(&blocked).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "entry {i} diverged ({a} vs {b}) for {kernel:?} \
+                     l={} d={} threads={threads} force_scalar={scalar}",
+                    xs.n_rows(),
+                    xs.n_cols(),
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic sweep: row counts around the lane (8) and tile (64)
+/// boundaries × several arities, kernels, and seeds. Runs in full in
+/// every environment.
+#[test]
+fn blocked_gram_identity_seed_grid() {
+    for &l in &[1usize, 2, 7, 8, 9, 16, 63, 64, 65, 130] {
+        for &d in &[1usize, 2, 5, 8, 13] {
+            for seed in 0..2u64 {
+                let xs = random_rows(l, d, seed ^ ((l as u64) << 16) ^ ((d as u64) << 8));
+                assert_blocked_matches_direct(&xs, Kernel::Linear, 0.0);
+                assert_blocked_matches_direct(&xs, Kernel::Rbf { gamma: 0.7 }, 0.7);
+            }
+        }
+    }
+}
+
+/// Duplicated and near-identical rows: RBF diagonals hit exactly
+/// `exp(-0.0)`, and symmetric entries must mirror exactly.
+#[test]
+fn blocked_gram_handles_duplicate_rows_and_symmetry() {
+    let _guard = ToggleGuard::acquire();
+    let mut rows: Vec<Vec<f64>> = (0..20)
+        .map(|i| vec![(i % 4) as f64, -(i as f64) * 0.5, 3.25])
+        .collect();
+    rows.push(rows[3].clone());
+    rows.push(rows[7].clone());
+    let xs = Dataset::from_rows(rows);
+    let l = xs.n_rows();
+    for kernel in [Kernel::Linear, Kernel::Rbf { gamma: 1.3 }] {
+        let gamma = 1.3;
+        let g = compute_gram_blocked(&xs, kernel, gamma);
+        let direct = compute_gram(&xs, kernel, gamma);
+        assert_eq!(
+            g.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            direct.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        for i in 0..l {
+            for j in 0..l {
+                assert_eq!(g[i * l + j].to_bits(), g[j * l + i].to_bits());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn blocked_gram_equals_direct_exactly(
+        l in 1usize..80,
+        d in 1usize..12,
+        seed in any::<u64>(),
+        linear in any::<bool>(),
+        gamma in 0.001f64..3.0,
+    ) {
+        let xs = random_rows(l, d, seed);
+        let kernel = if linear { Kernel::Linear } else { Kernel::Rbf { gamma } };
+        assert_blocked_matches_direct(&xs, kernel, gamma);
+    }
+}

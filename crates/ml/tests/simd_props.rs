@@ -131,9 +131,9 @@ fn build_model(d: usize, n_sv: usize, seed: u64, linear: bool) -> (RawModel, Vec
 }
 
 /// Core property: dispatched == scalar tree == (if available) AVX2, to
-/// the bit, on every probe; the pair-row kernel and the batched path
-/// (which rides it) must reproduce the same bits. Returns the
-/// scalar-tree bits for reuse.
+/// the bit, on every probe; the pair-row and 4-row kernels and the
+/// batched path (which rides them) must reproduce the same bits. Returns
+/// the scalar-tree bits for reuse.
 fn assert_paths_identical(model: &SvrModel, probes: &[Vec<f64>]) -> Vec<u64> {
     let c = model.compile();
     let mut scratch = PredictScratch::new();
@@ -177,7 +177,35 @@ fn assert_paths_identical(model: &SvrModel, probes: &[Vec<f64>]) -> Vec<u64> {
         let (a, b) = c.predict_into_pair(row, row, &mut scratch);
         assert_eq!(a.to_bits(), b.to_bits(), "pair of identical rows differs");
     }
-    // Batched path (pairs internally, including the odd tail).
+    // Quad kernel: four rows per SV load, each row keeping the single-row
+    // per-lane operation order.
+    if probes.len() >= 4 {
+        let q = c.predict_into_quad(
+            [
+                probes[0].as_slice(),
+                probes[1].as_slice(),
+                probes[2].as_slice(),
+                probes[3].as_slice(),
+            ],
+            &mut scratch,
+        );
+        for (i, v) in q.iter().enumerate() {
+            assert_eq!(
+                v.to_bits(),
+                c.predict_into(&probes[i], &mut scratch).to_bits(),
+                "quad kernel (row {i}) diverged on {:?}",
+                probes[i]
+            );
+        }
+    }
+    if let Some(row) = probes.first() {
+        let q = c.predict_into_quad([row, row, row, row], &mut scratch);
+        assert!(
+            q.iter().all(|v| v.to_bits() == q[0].to_bits()),
+            "quad of identical rows differs"
+        );
+    }
+    // Batched path (quads and pairs internally, including the tails).
     let batch_bits: Vec<u64> = c
         .predict_batch(probes)
         .into_iter()

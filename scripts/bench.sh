@@ -3,18 +3,24 @@
 # every committed BENCH-v1 document at the repo root, one file per
 # harness binary, all named BENCH_<suffix>.json:
 #
-#   BENCH_pr7.json    perf_trajectory — gated kernel hot path (unblocked
-#                     baseline vs dispatched lane tree, single row and
-#                     batched), training trajectory, hybrid inference
+#   BENCH_pr8.json    perf_trajectory — gated kernel hot path (unblocked
+#                     baseline vs dispatched lane tree, single row, quad
+#                     block and batched), training hot path (blocked Gram
+#                     build, vectorized SMO solve, arena featurization,
+#                     scalar-vs-vectorized end-to-end train), training
+#                     trajectory, hybrid inference
 #   BENCH_serve.json  serve_load — serving front-end under closed-loop
 #                     and bursty-overload load
 #   BENCH_drift.json  drift_loop — drift detection / shadow-retrain /
 #                     promotion lifecycle
 #
+# (BENCH_pr7.json is the frozen PR-7 artifact, kept for history; it is
+# schema-checked but no longer regenerated.)
+#
 # Every document is validated against the BENCH-v1 schema afterwards.
 # Diff a fresh run against the committed baseline with:
 #
-#   ./target/release/bench_compare BENCH_pr7.json FRESH.json --filter kernel/
+#   ./target/release/bench_compare BENCH_pr8.json FRESH.json --filter kernel/
 #
 # Usage: scripts/bench.sh [--per-template N]
 set -euo pipefail
@@ -23,8 +29,8 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release -p qpp-bench"
 cargo build --release -p qpp-bench
 
-echo "==> perf_trajectory BENCH_pr7.json $*"
-./target/release/perf_trajectory BENCH_pr7.json "$@"
+echo "==> perf_trajectory BENCH_pr8.json $*"
+./target/release/perf_trajectory BENCH_pr8.json "$@"
 
 echo "==> serve_load BENCH_serve.json"
 timeout 600 ./target/release/serve_load BENCH_serve.json
@@ -33,4 +39,4 @@ echo "==> drift_loop BENCH_drift.json"
 timeout 600 ./target/release/drift_loop BENCH_drift.json
 
 echo "==> bench_compare --check-schema"
-./target/release/bench_compare --check-schema BENCH_pr7.json BENCH_serve.json BENCH_drift.json
+./target/release/bench_compare --check-schema BENCH_pr8.json BENCH_pr7.json BENCH_serve.json BENCH_drift.json

@@ -13,6 +13,8 @@ cargo test -q
 echo "==> kernel + arena identity gates"
 cargo test -q -p qpp-ml --test simd_props
 cargo test -q -p qpp-ml --test compiled_props
+cargo test -q -p qpp-ml --test gram_blocked_props
+cargo test -q -p qpp-ml --test smo_vector_props
 cargo test -q -p qpp-ml --test zero_alloc
 cargo test -q -p qpp-core --test arena_props
 
@@ -21,6 +23,8 @@ cargo test -q -p qpp-core --test arena_props
 echo "==> force-scalar matrix line"
 cargo test -q -p qpp-ml --features force-scalar --test simd_props
 cargo test -q -p qpp-ml --features force-scalar --test compiled_props
+cargo test -q -p qpp-ml --features force-scalar --test gram_blocked_props
+cargo test -q -p qpp-ml --features force-scalar --test smo_vector_props
 cargo test -q -p qpp-ml --features force-scalar --test zero_alloc
 
 echo "==> cargo test -q --test parallel_determinism"
@@ -58,12 +62,18 @@ cargo bench --workspace --no-run
 # absolute rows/s stay informational.
 echo "==> BENCH-v1 schema check"
 cargo build --release -p qpp-bench
-./target/release/bench_compare --check-schema BENCH_pr7.json BENCH_serve.json BENCH_drift.json
+./target/release/bench_compare --check-schema BENCH_pr8.json BENCH_pr7.json BENCH_serve.json BENCH_drift.json
 
-echo "==> kernel perf regression gate"
-fresh_bench="$(mktemp /tmp/bench_kernel.XXXXXX.json)"
+# One fresh hot-path run feeds three self-normalizing ratio gates: the
+# inference kernel, the blocked Gram build, and the end-to-end
+# scalar-vs-vectorized training speedup (bench_compare takes one filter
+# prefix per invocation).
+echo "==> hot-path perf regression gates"
+fresh_bench="$(mktemp /tmp/bench_hot.XXXXXX.json)"
 trap 'rm -f "$fresh_bench"' EXIT
-./target/release/perf_trajectory "$fresh_bench" --kernel-only
-./target/release/bench_compare BENCH_pr7.json "$fresh_bench" --noise 0.4 --filter kernel/speedup
+./target/release/perf_trajectory "$fresh_bench" --hot-only
+./target/release/bench_compare BENCH_pr8.json "$fresh_bench" --noise 0.4 --filter kernel/speedup
+./target/release/bench_compare BENCH_pr8.json "$fresh_bench" --noise 0.4 --filter gram/build_speedup
+./target/release/bench_compare BENCH_pr8.json "$fresh_bench" --noise 0.4 --filter train/vectorized_speedup
 
 echo "==> OK"
