@@ -1,0 +1,300 @@
+//! Load generator for the multi-tenant bulkhead front-end, in three
+//! phases:
+//!
+//! A. **Noisy-neighbor isolation** — a seeded one-hot burst floods one
+//!    tenant while a quiet tenant trickles; measures the hot tenant's
+//!    shed fraction at its own bulkhead and the quiet tenant's served
+//!    p99 against its deadline budget (which must see zero sheds).
+//! B. **Weighted-fair share** — three backlogged lanes at weights 4/2/1
+//!    drained through the weighted-fair queue; measures dequeue
+//!    throughput and the worst normalized-service spread against the
+//!    one-batch-charge fairness bound.
+//! C. **SLO → drift healing loop** — sustained degraded-tier traffic on
+//!    one tenant escalates its monitor to quarantine, then one healing
+//!    round shadow-retrains on a drifted window and promotes; measures
+//!    rounds-to-quarantine, the healing wall time, and the error drop.
+//!
+//! Prints a narrative to stderr and writes `BENCH_tenant.json` in the
+//! `BENCH-v1` schema (see `qpp_bench::schema`).
+//!
+//! Usage: `tenant_load [OUT_PATH] [--per-template N]`
+
+use engine::faults::{DriftKind, DriftPlan, FaultPlan, ServeFaultPlan, TenantLoadPattern};
+use engine::{Catalog, Simulator};
+use qpp::{
+    CollectionConfig, ExecutedQuery, Method, ModelHealth, ModelRegistry, PlanOrdering,
+    QppConfig, QppPredictor, QueryDataset, RetrainConfig,
+};
+use qpp_bench::schema::BenchDoc;
+use serve::tenant::{
+    HealAction, TenantBudget, TenantServeConfig, TenantServer, TenantSpec, WeightedFairQueue,
+};
+use serve::{Endpoint, TierCosts};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tpch::Workload;
+
+const TEMPLATES: &[u8] = &[1, 3, 6];
+
+fn collect(per_template: usize, seed: u64, drift: &DriftPlan) -> QueryDataset {
+    let catalog = Catalog::new(0.1, 1);
+    let sim = Simulator::with_config(engine::SimConfig {
+        additive_noise_secs: 0.05,
+        ..engine::SimConfig::default()
+    });
+    let workload = Workload::generate(TEMPLATES, per_template, 0.1, seed);
+    QueryDataset::execute_drifted(
+        &catalog,
+        &workload,
+        &sim,
+        11,
+        f64::INFINITY,
+        &FaultPlan::none(),
+        &CollectionConfig::trusting(),
+        drift,
+    )
+    .0
+}
+
+fn registry_over(ds: &QueryDataset, tag: &str) -> (Arc<ModelRegistry>, std::path::PathBuf) {
+    let refs: Vec<&ExecutedQuery> = ds.queries.iter().collect();
+    let predictor = QppPredictor::train(&refs, QppConfig::default()).expect("training");
+    let dir = std::env::temp_dir().join(format!("qpp-tenant-load-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = Arc::new(
+        ModelRegistry::create(&dir, predictor, QppConfig::default()).expect("registry create"),
+    );
+    (registry, dir)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_tenant.json".to_string());
+    let per_template = args
+        .iter()
+        .position(|a| a == "--per-template")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8usize);
+
+    eprintln!("== setup: collect + train two tenant registries ==");
+    let clean = collect(per_template, 7, &DriftPlan::none());
+    let queries: Vec<Arc<ExecutedQuery>> = clean.queries.iter().cloned().map(Arc::new).collect();
+    let t0 = Instant::now();
+    let (hot_registry, hot_dir) = registry_over(&clean, "hot");
+    let (quiet_registry, quiet_dir) = registry_over(&clean, "quiet");
+    eprintln!("   trained 2 registries over {} queries in {:?}", queries.len(), t0.elapsed());
+
+    // -- Phase A: noisy-neighbor isolation -----------------------------
+    eprintln!("== phase A: one-hot burst vs quiet tenant ==");
+    let deadline = Duration::from_secs(5);
+    let service_stall = 0.002;
+    let server = TenantServer::start(
+        vec![
+            TenantSpec {
+                name: "hot".into(),
+                registry: Arc::clone(&hot_registry),
+                budget: TenantBudget {
+                    queue_quota: 8,
+                    ..TenantBudget::default()
+                },
+            },
+            TenantSpec {
+                name: "quiet".into(),
+                registry: Arc::clone(&quiet_registry),
+                budget: TenantBudget {
+                    queue_quota: 64,
+                    default_deadline: Some(deadline),
+                    ..TenantBudget::default()
+                },
+            },
+        ],
+        TenantServeConfig {
+            workers: Some(1),
+            max_batch: 1,
+            faults: ServeFaultPlan {
+                stall_prob: 1.0,
+                stall_secs: service_stall,
+                slow_consumer_prob: 0.0,
+                seed: 3,
+            },
+            ..TenantServeConfig::default()
+        },
+    );
+    let names = ["hot", "quiet"];
+    let arrivals =
+        TenantLoadPattern::OneHotBurst { hot: 0, burst: 32, seed: 9 }.arrivals(2, 640, 400.0);
+    let mut pending = Vec::new();
+    for (i, a) in arrivals.iter().enumerate() {
+        let q = Arc::clone(&queries[i % queries.len()]);
+        if let Ok(p) = server.submit(names[a.tenant], q, Method::PlanLevel, None) {
+            pending.push(p);
+        }
+    }
+    for p in pending {
+        let _ = p.wait();
+    }
+    let hot = server.stats("hot").expect("hot stats");
+    let quiet = server.stats("quiet").expect("quiet stats");
+    let hot_shed_fraction = hot.shed() as f64 / hot.submitted as f64;
+    let quiet_p99 = quiet.endpoint(Endpoint::PlanLevel).p99_secs;
+    eprintln!(
+        "   hot: submitted {} shed {} ({:.0}%) | quiet: submitted {} shed {} p99 {:.2} ms",
+        hot.submitted,
+        hot.shed(),
+        hot_shed_fraction * 100.0,
+        quiet.submitted,
+        quiet.shed(),
+        quiet_p99 * 1e3
+    );
+    assert_eq!(hot.served + hot.deadline_missed + hot.shed(), hot.submitted);
+    assert_eq!(quiet.served + quiet.deadline_missed + quiet.shed(), quiet.submitted);
+    assert_eq!(quiet.shed(), 0, "quiet tenant was shed by a noisy neighbor");
+    assert!(quiet_p99 <= deadline.as_secs_f64(), "quiet p99 blew its budget");
+    drop(server);
+
+    // -- Phase B: weighted-fair dequeue ---------------------------------
+    eprintln!("== phase B: weighted-fair dequeue at weights 4/2/1 ==");
+    let weights = [4.0, 2.0, 1.0];
+    let max_batch = 8usize;
+    let pops = 3000usize;
+    let fill = pops * max_batch + 1;
+    let mut q = WeightedFairQueue::new(fill * weights.len());
+    for &w in &weights {
+        q.add_tenant(w, fill);
+    }
+    for t in 0..weights.len() {
+        for i in 0..fill {
+            q.try_push(t, i as u64).expect("prefill");
+        }
+    }
+    let mut served = [0u64; 3];
+    let t0 = Instant::now();
+    for _ in 0..pops {
+        let (t, batch) = q.try_pop_batch(max_batch).expect("backlogged");
+        served[t] += batch.len() as u64;
+    }
+    let wfq_wall = t0.elapsed().as_secs_f64();
+    let wfq_pops_per_sec = pops as f64 / wfq_wall;
+    let min_w = weights.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mut spread: f64 = 0.0;
+    for i in 0..3 {
+        for j in 0..3 {
+            spread = spread.max(served[i] as f64 / weights[i] - served[j] as f64 / weights[j]);
+        }
+    }
+    let fair_bound = max_batch as f64 / min_w;
+    eprintln!(
+        "   served {:?} in {wfq_wall:.3}s = {wfq_pops_per_sec:.0} pops/s, \
+         normalized spread {spread:.2} (bound {fair_bound:.2})",
+        served
+    );
+    assert!(spread <= fair_bound + 1e-9, "WFQ fairness bound violated");
+
+    // -- Phase C: SLO -> drift healing loop -----------------------------
+    eprintln!("== phase C: SLO pressure -> quarantine -> heal ==");
+    let server = TenantServer::start(
+        vec![
+            TenantSpec {
+                name: "analytics".into(),
+                registry: Arc::clone(&hot_registry),
+                budget: TenantBudget::default(),
+            },
+            TenantSpec {
+                name: "reporting".into(),
+                registry: Arc::clone(&quiet_registry),
+                budget: TenantBudget::default(),
+            },
+        ],
+        TenantServeConfig {
+            workers: Some(1),
+            // Hybrid "costs" 10 s against a 5 s budget: every request
+            // degrades, pressuring the SLO channel deterministically.
+            tier_costs: TierCosts([10.0, 0.1, 0.01, 0.001, 0.0]),
+            ..TenantServeConfig::default()
+        },
+    );
+    let mut rounds = 0u64;
+    loop {
+        rounds += 1;
+        for i in 0..32 {
+            let q = Arc::clone(&queries[i % queries.len()]);
+            server
+                .predict(
+                    "analytics",
+                    q,
+                    Method::Hybrid(PlanOrdering::ErrorBased),
+                    Some(Duration::from_secs(5)),
+                )
+                .expect("degraded predict");
+        }
+        let (_, health) = server.slo_tick("analytics").expect("slo tick");
+        if health == ModelHealth::Quarantined {
+            break;
+        }
+        assert!(rounds < 32, "SLO pressure never quarantined");
+    }
+    eprintln!("   quarantined after {rounds} windows of 100% degraded traffic");
+
+    let drifted = collect(per_template, 21, &DriftPlan {
+        kind: DriftKind::DataGrowth,
+        onset: 0,
+        ramp: 0,
+        magnitude: 3.0,
+        seed: 1,
+    });
+    let drifted_refs: Vec<&ExecutedQuery> = drifted.queries.iter().collect();
+    let t0 = Instant::now();
+    let healed = server
+        .heal("analytics", &drifted_refs, &RetrainConfig::default(), 0.25)
+        .expect("heal");
+    let heal_wall = t0.elapsed().as_secs_f64();
+    assert_eq!(healed.action, HealAction::Promoted, "{:?}", healed.report);
+    let report = healed.report.expect("promotion report");
+    assert_eq!(quiet_registry.version(), 1, "bulkhead: other registry moved");
+    eprintln!(
+        "   healed in {heal_wall:.3}s: error {:.4} -> {:.4}, analytics v{} (reporting still v{})",
+        report.incumbent_error,
+        report.candidate_error,
+        healed.version,
+        quiet_registry.version()
+    );
+    drop(server);
+
+    let mut doc = BenchDoc::new(
+        "tenant_load",
+        9,
+        serde_json::json!({
+            "templates": TEMPLATES,
+            "per_template": per_template,
+            "burst": 32,
+            "service_stall_secs": service_stall,
+            "quiet_deadline_ms": deadline.as_secs_f64() * 1e3,
+            "wfq_weights": weights,
+            "wfq_max_batch": max_batch,
+        }),
+    );
+    doc.push("iso/hot_submitted", hot.submitted as f64, "requests");
+    doc.push("iso/hot_shed_fraction", hot_shed_fraction, "fraction");
+    doc.push("iso/quiet_submitted", quiet.submitted as f64, "requests");
+    doc.push("iso/quiet_shed", quiet.shed() as f64, "requests");
+    doc.push("iso/quiet_p99", quiet_p99 * 1e3, "ms");
+    doc.push("wfq/pops_per_sec", wfq_pops_per_sec, "pops/s");
+    doc.push("wfq/normalized_spread", spread, "items");
+    doc.push("wfq/fair_bound", fair_bound, "items");
+    doc.push("heal/rounds_to_quarantine", rounds as f64, "windows");
+    doc.push("heal/wall", heal_wall, "s");
+    doc.push("heal/incumbent_error", report.incumbent_error, "mre");
+    doc.push("heal/candidate_error", report.candidate_error, "mre");
+    doc.push("heal/promoted_version", healed.version as f64, "version");
+    doc.validate().expect("emitted document violates BENCH-v1");
+    let rendered = serde_json::to_string_pretty(&doc).expect("serialize bench report");
+    std::fs::write(&out_path, rendered + "\n").expect("write bench report");
+    println!("{out_path}");
+    let _ = std::fs::remove_dir_all(&hot_dir);
+    let _ = std::fs::remove_dir_all(&quiet_dir);
+}

@@ -10,7 +10,12 @@ use engine::faults::ExecError;
 use ml::MlError;
 
 /// Everything that can go wrong across the QPP pipeline.
+///
+/// Marked `#[non_exhaustive]`: downstream crates must keep a wildcard arm
+/// when matching, so new failure modes (like serving-layer rejections) can
+/// be added without a breaking release.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum QppError {
     /// The learning substrate failed (model fitting or validation).
     Ml(MlError),
@@ -34,6 +39,14 @@ pub enum QppError {
     Overloaded {
         /// Serving queue depth observed at the rejection.
         queue_depth: usize,
+    },
+    /// A specific tenant exhausted its own admission budget (token bucket
+    /// or queue-depth quota) in the multi-tenant server. Unlike
+    /// [`QppError::Overloaded`], this is a bulkhead rejection: only the
+    /// named tenant is shed, and other tenants' budgets are unaffected.
+    TenantOverloaded {
+        /// The tenant whose budget rejected the request.
+        tenant: String,
     },
     /// The request's deadline expired before any prediction tier — even
     /// the constant training prior — could answer within the remaining
@@ -59,6 +72,10 @@ impl std::fmt::Display for QppError {
             QppError::Overloaded { queue_depth } => write!(
                 f,
                 "prediction service overloaded (queue depth {queue_depth}); request shed at admission"
+            ),
+            QppError::TenantOverloaded { tenant } => write!(
+                f,
+                "tenant `{tenant}` over its admission budget; request shed at the bulkhead"
             ),
             QppError::DeadlineExceeded { budget_secs } => write!(
                 f,
@@ -121,5 +138,28 @@ mod tests {
         assert!(late.to_string().contains("deadline"));
         assert!(late.to_string().contains("0.250"));
         assert_eq!(late.clone(), late);
+    }
+
+    #[test]
+    fn tenant_overload_displays_and_compares() {
+        let shed = QppError::TenantOverloaded {
+            tenant: "analytics".to_string(),
+        };
+        assert!(shed.to_string().contains("tenant `analytics`"));
+        assert!(shed.to_string().contains("bulkhead"));
+        assert!(shed.source().is_none());
+        assert_eq!(
+            shed,
+            QppError::TenantOverloaded {
+                tenant: "analytics".to_string()
+            }
+        );
+        assert_ne!(
+            shed,
+            QppError::TenantOverloaded {
+                tenant: "etl".to_string()
+            }
+        );
+        assert_eq!(shed.clone(), shed);
     }
 }

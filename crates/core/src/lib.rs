@@ -56,7 +56,7 @@ pub use features::{
 };
 pub use hybrid::{train_hybrid, HybridConfig, HybridModel, PlanOrdering};
 pub use materialize::MaterializedModels;
-pub use monitor::{DriftMonitor, ModelHealth, MonitorConfig, SloRecorder, TierState};
+pub use monitor::{DriftMonitor, ModelHealth, MonitorConfig, SloRecorder, SloWindow, TierState};
 pub use online::{OnlineConfig, OnlinePredictor};
 pub use op_model::{OpLevelModel, OpModelConfig};
 pub use plan_model::{PlanLevelModel, PlanModelConfig, PredictBuffers, TargetMetric};

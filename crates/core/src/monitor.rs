@@ -56,6 +56,16 @@ pub struct MonitorConfig {
     pub suspect_threshold: f64,
     /// CUSUM level at which a tier turns [`ModelHealth::Quarantined`].
     pub quarantine_threshold: f64,
+    /// Expected SLO pressure (degraded + deadline-missed + shed fraction of
+    /// submitted requests) of a healthy serving tier; the second escalation
+    /// signal fed by [`DriftMonitor::observe_slo`].
+    pub slo_baseline: f64,
+    /// Slack added to [`MonitorConfig::slo_baseline`] before a window's
+    /// pressure counts as excess (absorbs transient load spikes).
+    pub slo_slack: f64,
+    /// Minimum requests a window must cover before it moves the SLO CUSUM;
+    /// smaller windows are too noisy to act on and are ignored.
+    pub slo_min_requests: u64,
 }
 
 impl Default for MonitorConfig {
@@ -67,7 +77,48 @@ impl Default for MonitorConfig {
             slack: 0.10,
             suspect_threshold: 1.0,
             quarantine_threshold: 3.0,
+            slo_baseline: 0.05,
+            slo_slack: 0.10,
+            slo_min_requests: 16,
         }
+    }
+}
+
+/// One aggregated serving-quality window: what happened to a tenant's
+/// requests on one tier over some accounting interval.
+///
+/// The serving layer (qpp-serve) snapshots its per-tenant counters
+/// periodically, diffs consecutive snapshots into an `SloWindow`, and feeds
+/// it to [`DriftMonitor::observe_slo`]. Where [`DriftMonitor::observe`]
+/// watches *accuracy* (residuals), this watches *service quality*: a model
+/// that is so slow or so broken that requests degrade past it, miss
+/// deadlines, or get shed is just as stale as one that mispredicts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SloWindow {
+    /// Requests answered at the tier the client asked for.
+    pub served: u64,
+    /// Requests answered, but by a cheaper tier than requested.
+    pub degraded: u64,
+    /// Requests refused because their deadline expired in queue.
+    pub deadline_missed: u64,
+    /// Requests shed at admission (rate limit or queue quota).
+    pub shed: u64,
+}
+
+impl SloWindow {
+    /// Total requests the window accounts for.
+    pub fn total(&self) -> u64 {
+        self.served + self.degraded + self.deadline_missed + self.shed
+    }
+
+    /// Fraction of the window's requests that missed their SLO: degraded,
+    /// deadline-missed, or shed. 0.0 for an empty window.
+    pub fn pressure(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.degraded + self.deadline_missed + self.shed) as f64 / total as f64
     }
 }
 
@@ -80,6 +131,9 @@ pub struct TierState {
     recent: RollingWindow,
     /// CUSUM statistic: cumulative error in excess of baseline + slack.
     pub cusum: f64,
+    /// SLO-pressure CUSUM: cumulative window pressure in excess of
+    /// `slo_baseline + slo_slack` (the second escalation signal).
+    pub slo_cusum: f64,
     /// Calibrated (or configured) baseline mean relative error; NaN until
     /// calibration completes.
     pub baseline: f64,
@@ -95,6 +149,7 @@ impl TierState {
             residuals: Welford::new(),
             recent: RollingWindow::new(cfg.window),
             cusum: 0.0,
+            slo_cusum: 0.0,
             baseline: cfg.baseline_error,
             calibrating: Welford::new(),
             health: ModelHealth::Healthy,
@@ -214,6 +269,51 @@ impl DriftMonitor {
             predictor.trip_breaker(tier);
         }
         health
+    }
+
+    /// Folds one serving-quality window for the given learned tier into
+    /// the monitor's second escalation signal and returns the tier's
+    /// health after the update.
+    ///
+    /// Sustained SLO pressure — a high fraction of degraded, deadline-
+    /// missed, or shed requests — escalates the same
+    /// `Healthy → Suspect → Quarantined` ladder as residual drift, so
+    /// degraded traffic drives a shadow retrain even when the few answers
+    /// the stale tier still gives look accurate. Unlike residual-driven
+    /// [`DriftMonitor::ingest`], this path deliberately does *not* trip
+    /// the tier's circuit breaker: pressure means the tier is too slow or
+    /// too contended, not that its answers are wrong, and disabling the
+    /// accurate tier would only push more traffic down the degradation
+    /// chain. Windows smaller than [`MonitorConfig::slo_min_requests`] are
+    /// ignored; fallback tiers are accepted and ignored.
+    pub fn observe_slo(&mut self, tier: PredictionTier, window: &SloWindow) -> ModelHealth {
+        let Some(i) = MODEL_TIERS.iter().position(|t| *t == tier) else {
+            return ModelHealth::Healthy;
+        };
+        let st = &mut self.tiers[i];
+        if window.total() < self.config.slo_min_requests {
+            return st.health;
+        }
+        let excess = window.pressure() - (self.config.slo_baseline + self.config.slo_slack);
+        st.slo_cusum = (st.slo_cusum + excess).max(0.0);
+        if st.health != ModelHealth::Quarantined {
+            let slo_health = if st.slo_cusum >= self.config.quarantine_threshold {
+                ModelHealth::Quarantined
+            } else if st.slo_cusum >= self.config.suspect_threshold {
+                ModelHealth::Suspect
+            } else {
+                ModelHealth::Healthy
+            };
+            // The two signals escalate, never de-escalate, each other.
+            st.health = match (st.health, slo_health) {
+                (ModelHealth::Quarantined, _) | (_, ModelHealth::Quarantined) => {
+                    ModelHealth::Quarantined
+                }
+                (ModelHealth::Suspect, _) | (_, ModelHealth::Suspect) => ModelHealth::Suspect,
+                _ => ModelHealth::Healthy,
+            };
+        }
+        st.health
     }
 
     /// Current health of the given tier (fallback tiers are always
@@ -580,6 +680,103 @@ mod tests {
         tiny.record(0.0);
         assert_eq!(tiny.count(), 1);
         assert!(tiny.quantile(0.5) <= 1e-7 * 1.3);
+    }
+
+    #[test]
+    fn slo_pressure_escalates_to_quarantine_without_tripping_accuracy() {
+        let mut m = configured();
+        // Sustained 80% pressure (most requests degraded or shed) against
+        // a 5% baseline + 10% slack: excess 0.65 per window.
+        let bad = SloWindow {
+            served: 20,
+            degraded: 50,
+            deadline_missed: 10,
+            shed: 20,
+        };
+        let mut saw_suspect = false;
+        let mut quarantined_at = None;
+        for i in 0..20 {
+            match m.observe_slo(PredictionTier::Hybrid, &bad) {
+                ModelHealth::Suspect => saw_suspect = true,
+                ModelHealth::Quarantined => {
+                    quarantined_at = Some(i);
+                    break;
+                }
+                ModelHealth::Healthy => {}
+            }
+        }
+        assert!(saw_suspect, "must pass through Suspect");
+        let at = quarantined_at.expect("sustained SLO pressure must quarantine");
+        assert!(at < 10, "quarantine took {at} windows");
+        assert!(m.any_quarantined());
+        // The residual CUSUM is untouched: this was a service-quality
+        // escalation, not an accuracy one.
+        assert_eq!(m.tier(PredictionTier::Hybrid).unwrap().cusum, 0.0);
+        // Sticky until reset, like residual quarantine.
+        let good = SloWindow {
+            served: 100,
+            ..SloWindow::default()
+        };
+        assert_eq!(
+            m.observe_slo(PredictionTier::Hybrid, &good),
+            ModelHealth::Quarantined
+        );
+        m.reset_tier(PredictionTier::Hybrid);
+        assert_eq!(m.health(PredictionTier::Hybrid), ModelHealth::Healthy);
+        assert_eq!(m.tier(PredictionTier::Hybrid).unwrap().slo_cusum, 0.0);
+    }
+
+    #[test]
+    fn healthy_slo_windows_stay_healthy_and_small_windows_are_ignored() {
+        let mut m = configured();
+        // 4% pressure, under baseline + slack: CUSUM never accumulates.
+        let good = SloWindow {
+            served: 96,
+            degraded: 4,
+            ..SloWindow::default()
+        };
+        for _ in 0..200 {
+            assert_eq!(
+                m.observe_slo(PredictionTier::OperatorLevel, &good),
+                ModelHealth::Healthy
+            );
+        }
+        assert_eq!(m.tier(PredictionTier::OperatorLevel).unwrap().slo_cusum, 0.0);
+        // All-shed windows below slo_min_requests are too small to act on.
+        let tiny = SloWindow {
+            shed: 15,
+            ..SloWindow::default()
+        };
+        for _ in 0..200 {
+            assert_eq!(
+                m.observe_slo(PredictionTier::OperatorLevel, &tiny),
+                ModelHealth::Healthy
+            );
+        }
+        // Fallback tiers have no model to quarantine.
+        let awful = SloWindow {
+            shed: 1000,
+            ..SloWindow::default()
+        };
+        assert_eq!(
+            m.observe_slo(PredictionTier::CostScaling, &awful),
+            ModelHealth::Healthy
+        );
+        assert!(!m.any_quarantined());
+    }
+
+    #[test]
+    fn slo_window_accounting() {
+        let w = SloWindow {
+            served: 50,
+            degraded: 25,
+            deadline_missed: 15,
+            shed: 10,
+        };
+        assert_eq!(w.total(), 100);
+        assert!((w.pressure() - 0.5).abs() < 1e-12);
+        assert_eq!(SloWindow::default().total(), 0);
+        assert_eq!(SloWindow::default().pressure(), 0.0);
     }
 
     #[test]

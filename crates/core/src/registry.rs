@@ -368,6 +368,19 @@ impl ModelRegistry {
         }
     }
 
+    /// Mean relative error of the *currently serving* predictor over
+    /// `queries`, scored through the full degradation chain (the same
+    /// metric [`ModelRegistry::shadow_retrain`] uses for its held-out
+    /// comparison). NaN when `queries` is empty.
+    ///
+    /// This is the post-promotion validation hook: after a promotion,
+    /// score the new current predictor against fresh traffic and call
+    /// [`ModelRegistry::rollback`] if it regressed in production after
+    /// all.
+    pub fn score_current(&self, queries: &[&ExecutedQuery]) -> f64 {
+        score(&self.current(), queries)
+    }
+
     fn write_snapshot(&self, version: u64, mat: &MaterializedModels) -> Result<(), QppError> {
         let io = |e: std::io::Error| QppError::Io(e.to_string());
         let final_path = self.snapshot_path(version);

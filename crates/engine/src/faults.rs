@@ -210,6 +210,21 @@ impl DriftPlan {
         }
     }
 
+    /// A per-tenant variant of this drift plan: identical shape (kind,
+    /// onset, ramp, magnitude) but a seed derived deterministically from
+    /// the tenant index, so each tenant's drift stream is decorrelated
+    /// from every other tenant's while staying exactly reproducible.
+    /// Multi-tenant tests drift one tenant's traffic without touching the
+    /// estimate jitter other tenants observe.
+    pub fn for_tenant(&self, tenant: usize) -> DriftPlan {
+        DriftPlan {
+            seed: self
+                .seed
+                .wrapping_add((tenant as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            ..self.clone()
+        }
+    }
+
     /// Shifts a plan's logged optimizer estimates in place for the query at
     /// stream position `idx`. Deterministic in (drift seed, idx).
     ///
@@ -361,6 +376,172 @@ impl ArrivalPattern {
                 // Jitter can reorder members within a burst; restore the
                 // global non-decreasing contract without crossing bursts.
                 out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                out
+            }
+        }
+    }
+}
+
+/// One request arrival in a multi-tenant stream: when it lands and whose
+/// traffic it is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantArrival {
+    /// Seconds from stream start.
+    pub offset_secs: f64,
+    /// Index of the tenant issuing the request, in `0..tenants`.
+    pub tenant: usize,
+}
+
+/// Deterministic tenant-skewed arrival processes for noisy-neighbor load
+/// generation.
+///
+/// Where [`ArrivalPattern`] answers *when* requests arrive,
+/// `TenantLoadPattern` also answers *whose* they are — the load skews
+/// that make bulkhead isolation testable: one tenant bursting while the
+/// rest trickle, the hot seat rotating, or every tenant surging at once.
+/// [`TenantLoadPattern::arrivals`] is deterministic in
+/// (pattern, tenants, n, rate), so shed/served counts per tenant are
+/// exactly reproducible.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TenantLoadPattern {
+    /// One tenant floods in bursts while every other tenant trickles at a
+    /// steady low rate: the canonical noisy neighbor. Each burst of
+    /// `burst` near-simultaneous arrivals is mostly the hot tenant's; one
+    /// arrival per burst goes to each quiet tenant in round-robin order.
+    OneHotBurst {
+        /// Index of the bursting tenant.
+        hot: usize,
+        /// Arrivals per burst (clamped so each quiet tenant still gets
+        /// one arrival per burst).
+        burst: usize,
+        /// Arrival-stream seed (intra-burst jitter).
+        seed: u64,
+    },
+    /// The hot seat rotates: every `period` arrivals a different tenant
+    /// becomes the aggressor, taking three quarters of the traffic while
+    /// the rest is spread round-robin across the others. Exercises that
+    /// bulkheads recover once a tenant quiets down.
+    RotatingHot {
+        /// Arrivals between hot-tenant rotations (values below 1 are
+        /// treated as 1).
+        period: usize,
+        /// Arrival-stream seed.
+        seed: u64,
+    },
+    /// All tenants surge together: every `surge_every` arrivals, a window
+    /// of `surge_len` arrivals lands at eight times the base rate, with
+    /// traffic round-robined across tenants throughout. The correlated
+    /// case where shedding must come from the *global* budget, not any
+    /// single tenant's.
+    CorrelatedSurge {
+        /// Arrivals between surge-window starts (clamped to at least
+        /// `surge_len + 1`).
+        surge_every: usize,
+        /// Arrivals per surge window (values below 1 are treated as 1).
+        surge_len: usize,
+        /// Arrival-stream seed (inter-arrival jitter).
+        seed: u64,
+    },
+}
+
+impl TenantLoadPattern {
+    /// The first `n` arrivals of a `tenants`-way stream at base rate
+    /// `rate` requests/second (the long-run mean for the burst patterns;
+    /// the off-surge rate for [`TenantLoadPattern::CorrelatedSurge`],
+    /// whose surge windows exceed it). Offsets are non-decreasing and
+    /// non-negative, every tenant index is in `0..tenants`, every tenant
+    /// appears in a sufficiently long stream, and the whole vector is
+    /// deterministic in (pattern, tenants, n, rate).
+    pub fn arrivals(&self, tenants: usize, n: usize, rate: f64) -> Vec<TenantArrival> {
+        assert!(tenants >= 1, "need at least one tenant");
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+        match self {
+            TenantLoadPattern::OneHotBurst { hot, burst, seed } => {
+                let hot = *hot % tenants;
+                // Each burst must fit one arrival per quiet tenant plus at
+                // least one hot arrival.
+                let burst = (*burst).max(tenants.max(2));
+                let offsets = ArrivalPattern::Bursty { burst, seed: *seed }
+                    .arrival_offsets(n, rate);
+                offsets
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, offset_secs)| {
+                        let pos = i % burst;
+                        let quiet_slots = tenants - 1;
+                        // The last `quiet_slots` positions of each burst go
+                        // one each to the non-hot tenants, in index order.
+                        let tenant = if pos < burst - quiet_slots {
+                            hot
+                        } else {
+                            let q = pos - (burst - quiet_slots);
+                            // q-th tenant when `hot` is skipped.
+                            if q < hot {
+                                q
+                            } else {
+                                q + 1
+                            }
+                        };
+                        TenantArrival {
+                            offset_secs,
+                            tenant,
+                        }
+                    })
+                    .collect()
+            }
+            TenantLoadPattern::RotatingHot { period, seed } => {
+                let period = (*period).max(1);
+                let offsets = ArrivalPattern::Poisson { seed: *seed }.arrival_offsets(n, rate);
+                offsets
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, offset_secs)| {
+                        let hot = (i / period) % tenants;
+                        // Three of every four arrivals are the hot
+                        // tenant's; the fourth round-robins the others.
+                        let tenant = if tenants == 1 || i % 4 != 0 {
+                            hot
+                        } else {
+                            let q = (i / 4) % (tenants - 1);
+                            if q < hot {
+                                q
+                            } else {
+                                q + 1
+                            }
+                        };
+                        TenantArrival {
+                            offset_secs,
+                            tenant,
+                        }
+                    })
+                    .collect()
+            }
+            TenantLoadPattern::CorrelatedSurge {
+                surge_every,
+                surge_len,
+                seed,
+            } => {
+                let surge_len = (*surge_len).max(1);
+                let surge_every = (*surge_every).max(surge_len + 1);
+                let mut rng = StdRng::seed_from_u64(*seed ^ 0x7E_A11);
+                let mut t = 0.0;
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    out.push(TenantArrival {
+                        offset_secs: t,
+                        tenant: i % tenants,
+                    });
+                    // Surge windows land at 8x the base rate; ±20% seeded
+                    // jitter keeps arrivals from being exactly periodic.
+                    let in_surge = i % surge_every < surge_len;
+                    let dt = if in_surge {
+                        1.0 / (8.0 * rate)
+                    } else {
+                        1.0 / rate
+                    };
+                    let jitter = 0.8 + 0.4 * rng.gen::<f64>();
+                    t += dt * jitter;
+                }
                 out
             }
         }
@@ -653,6 +834,178 @@ mod tests {
         let intra: Vec<f64> = bursty[..64].windows(2).map(|w| w[1] - w[0]).collect();
         let mean_intra = intra.iter().sum::<f64>() / intra.len() as f64;
         assert!(mean_intra < (1.0 / rate) * 0.25, "mean intra {mean_intra}");
+    }
+
+    fn check_stream(pattern: &TenantLoadPattern, tenants: usize, n: usize, rate: f64) {
+        let a = pattern.arrivals(tenants, n, rate);
+        let b = pattern.arrivals(tenants, n, rate);
+        assert_eq!(a, b, "{pattern:?} must be deterministic");
+        assert_eq!(a.len(), n);
+        assert!(a[0].offset_secs >= 0.0);
+        for w in a.windows(2) {
+            assert!(
+                w[1].offset_secs >= w[0].offset_secs,
+                "{pattern:?} offsets must be sorted"
+            );
+        }
+        let mut per_tenant = vec![0usize; tenants];
+        for arr in &a {
+            assert!(arr.tenant < tenants, "{pattern:?} tenant out of range");
+            per_tenant[arr.tenant] += 1;
+        }
+        for (t, &count) in per_tenant.iter().enumerate() {
+            assert!(count > 0, "{pattern:?} starves tenant {t} of arrivals");
+        }
+    }
+
+    #[test]
+    fn tenant_streams_are_deterministic_sorted_and_cover_all_tenants() {
+        for tenants in [2usize, 4, 7] {
+            check_stream(
+                &TenantLoadPattern::OneHotBurst {
+                    hot: 1,
+                    burst: 32,
+                    seed: 5,
+                },
+                tenants,
+                2000,
+                400.0,
+            );
+            check_stream(
+                &TenantLoadPattern::RotatingHot { period: 64, seed: 5 },
+                tenants,
+                2000,
+                400.0,
+            );
+            check_stream(
+                &TenantLoadPattern::CorrelatedSurge {
+                    surge_every: 100,
+                    surge_len: 25,
+                    seed: 5,
+                },
+                tenants,
+                2000,
+                400.0,
+            );
+        }
+    }
+
+    #[test]
+    fn one_hot_burst_skews_hard_toward_the_hot_tenant() {
+        let tenants = 4;
+        let pattern = TenantLoadPattern::OneHotBurst {
+            hot: 2,
+            burst: 32,
+            seed: 9,
+        };
+        let arrivals = pattern.arrivals(tenants, 3200, 800.0);
+        let mut per_tenant = vec![0usize; tenants];
+        for a in &arrivals {
+            per_tenant[a.tenant] += 1;
+        }
+        // 29 of every 32 burst slots are the hot tenant's; quiet tenants
+        // get exactly one slot per burst each.
+        assert_eq!(per_tenant[2], 2900);
+        for t in [0, 1, 3] {
+            assert_eq!(per_tenant[t], 100, "tenant {t}");
+        }
+        // Quiet tenants arrive steadily: one arrival per burst period,
+        // never two back-to-back inside one burst.
+        let quiet_offsets: Vec<f64> = arrivals
+            .iter()
+            .filter(|a| a.tenant == 0)
+            .map(|a| a.offset_secs)
+            .collect();
+        let period = 32.0 / 800.0;
+        for w in quiet_offsets.windows(2) {
+            assert!(w[1] - w[0] > 0.5 * period, "quiet arrivals bunched");
+        }
+    }
+
+    #[test]
+    fn rotating_hot_rotates_the_aggressor() {
+        let tenants = 3;
+        let period = 300;
+        let pattern = TenantLoadPattern::RotatingHot { period, seed: 13 };
+        let arrivals = pattern.arrivals(tenants, period * tenants, 500.0);
+        for epoch in 0..tenants {
+            let mut per_tenant = vec![0usize; tenants];
+            for a in &arrivals[epoch * period..(epoch + 1) * period] {
+                per_tenant[a.tenant] += 1;
+            }
+            let hot = epoch % tenants;
+            // The hot seat holds ~3/4 of its epoch's traffic.
+            assert!(
+                per_tenant[hot] * 4 >= period * 2,
+                "epoch {epoch}: hot tenant got {per_tenant:?}"
+            );
+            for (t, &count) in per_tenant.iter().enumerate() {
+                if t != hot {
+                    assert!(count < per_tenant[hot] / 2, "epoch {epoch}: {per_tenant:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn correlated_surge_compresses_gaps_for_every_tenant_at_once() {
+        let pattern = TenantLoadPattern::CorrelatedSurge {
+            surge_every: 200,
+            surge_len: 50,
+            seed: 17,
+        };
+        let rate = 100.0;
+        let arrivals = pattern.arrivals(3, 1000, rate);
+        // Mean gap inside surge windows is ~1/(8 rate); outside, ~1/rate.
+        let gap = |i: usize| arrivals[i + 1].offset_secs - arrivals[i].offset_secs;
+        let surge_gaps: Vec<f64> = (0..49).map(gap).collect();
+        let calm_gaps: Vec<f64> = (60..190).map(gap).collect();
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!(
+            mean(&calm_gaps) > 4.0 * mean(&surge_gaps),
+            "calm {} vs surge {}",
+            mean(&calm_gaps),
+            mean(&surge_gaps)
+        );
+        // The surge is correlated: all three tenants appear inside one
+        // surge window.
+        let mut seen = [false; 3];
+        for a in &arrivals[..50] {
+            seen[a.tenant] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "surge window missing a tenant");
+    }
+
+    #[test]
+    fn per_tenant_drift_is_decorrelated_but_same_shape() {
+        let base = DriftPlan {
+            kind: DriftKind::SelectivityShift,
+            onset: 4,
+            ramp: 8,
+            magnitude: 3.0,
+            seed: 77,
+        };
+        let a = base.for_tenant(0);
+        let b = base.for_tenant(1);
+        assert_eq!(a, base.for_tenant(0), "derivation must be deterministic");
+        assert_ne!(a.seed, b.seed, "tenants must get distinct drift streams");
+        for plan in [&a, &b] {
+            assert_eq!(plan.kind, base.kind);
+            assert_eq!(plan.onset, base.onset);
+            assert_eq!(plan.ramp, base.ramp);
+            assert_eq!(plan.magnitude, base.magnitude);
+            // Same ramp: intensities agree even though jitter differs.
+            for idx in 0..20 {
+                assert_eq!(plan.intensity(idx), base.intensity(idx));
+            }
+        }
+        // And the jitter actually differs between tenants.
+        let original = sample_plan(3);
+        let mut pa = original.clone();
+        let mut pb = original.clone();
+        a.shift_estimates(&mut pa, 12);
+        b.shift_estimates(&mut pb, 12);
+        assert_ne!(format!("{pa:?}"), format!("{pb:?}"));
     }
 
     #[test]

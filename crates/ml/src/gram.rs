@@ -36,18 +36,39 @@ use std::sync::{Arc, Mutex, OnceLock};
 const MAX_CACHED_FLOATS: usize = 8 << 20;
 
 /// Default capacity in floats: `QPP_GRAM_CACHE_CAP` (a byte budget) when
-/// set and valid, else the built-in 64 MiB.
+/// set and valid, else the built-in 64 MiB. An invalid value warns once
+/// per process instead of being silently ignored.
 fn default_cap_floats() -> usize {
     static CAP: OnceLock<usize> = OnceLock::new();
-    *CAP.get_or_init(|| cap_floats_from(std::env::var("QPP_GRAM_CACHE_CAP").ok().as_deref()))
+    *CAP.get_or_init(|| {
+        match cap_floats_from(std::env::var("QPP_GRAM_CACHE_CAP").ok().as_deref()) {
+            Ok(floats) => floats,
+            Err(reason) => {
+                eprintln!(
+                    "warning: ignoring invalid {reason}; using the default 64 MiB budget"
+                );
+                MAX_CACHED_FLOATS
+            }
+        }
+    })
 }
 
-/// Parses a byte budget into a float count; unset, unparsable, or
-/// smaller-than-one-float values fall back to the 64 MiB default.
-fn cap_floats_from(bytes: Option<&str>) -> usize {
-    match bytes.and_then(|s| s.trim().parse::<u64>().ok()) {
-        Some(b) if b >= 8 => (b / 8) as usize,
-        _ => MAX_CACHED_FLOATS,
+/// Parses a `QPP_GRAM_CACHE_CAP` byte budget into a float count. Unset
+/// falls back to the 64 MiB default; unparsable or smaller-than-one-float
+/// values are rejected with a reason so the caller can warn instead of
+/// silently ignoring the knob.
+fn cap_floats_from(bytes: Option<&str>) -> Result<usize, String> {
+    let Some(raw) = bytes else {
+        return Ok(MAX_CACHED_FLOATS);
+    };
+    match raw.trim().parse::<u64>() {
+        Ok(b) if b >= 8 => Ok((b / 8) as usize),
+        Ok(b) => Err(format!(
+            "QPP_GRAM_CACHE_CAP={b} (bytes); the budget must fit at least one 8-byte float"
+        )),
+        Err(_) => Err(format!(
+            "QPP_GRAM_CACHE_CAP={raw:?}: not a byte count"
+        )),
     }
 }
 
@@ -715,12 +736,24 @@ mod tests {
 
     #[test]
     fn capacity_parse_handles_garbage_and_small_values() {
-        assert_eq!(cap_floats_from(None), MAX_CACHED_FLOATS);
-        assert_eq!(cap_floats_from(Some("nonsense")), MAX_CACHED_FLOATS);
-        assert_eq!(cap_floats_from(Some("0")), MAX_CACHED_FLOATS);
-        assert_eq!(cap_floats_from(Some("7")), MAX_CACHED_FLOATS);
-        assert_eq!(cap_floats_from(Some("8")), 1);
-        assert_eq!(cap_floats_from(Some(" 1048576 ")), 131_072);
+        // Unset: documented 64 MiB default, no warning.
+        assert_eq!(cap_floats_from(None), Ok(MAX_CACHED_FLOATS));
+        // Valid byte budgets convert to float counts.
+        assert_eq!(cap_floats_from(Some("8")), Ok(1));
+        assert_eq!(cap_floats_from(Some(" 1048576 ")), Ok(131_072));
+        // Garbage and too-small budgets are rejected with a reason naming
+        // the knob, so the OnceLock init can warn once and fall back.
+        for bad in ["nonsense", "", "-1", "64MiB", "1e6"] {
+            let err = cap_floats_from(Some(bad)).unwrap_err();
+            assert!(
+                err.contains("QPP_GRAM_CACHE_CAP") && err.contains("byte count"),
+                "{bad:?} -> {err}"
+            );
+        }
+        for small in ["0", "7"] {
+            let err = cap_floats_from(Some(small)).unwrap_err();
+            assert!(err.contains("at least one"), "{small:?} -> {err}");
+        }
     }
 
     #[test]

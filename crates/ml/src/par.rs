@@ -21,17 +21,48 @@ const NO_OVERRIDE: usize = usize::MAX;
 
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(NO_OVERRIDE);
 
+/// Parses a `QPP_THREADS` value: `Ok(None)` when unset, `Ok(Some(n))` for
+/// a valid positive count, `Err(reason)` for anything else (unparsable,
+/// zero — a process cannot run on zero workers). The caller decides the
+/// fallback; keeping the parse pure keeps it unit-testable without
+/// touching process environment.
+pub(crate) fn parse_thread_knob(raw: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = raw else {
+        return Ok(None);
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(Some(n)),
+        Ok(_) => Err(format!(
+            "QPP_THREADS={raw:?} is zero; a worker pool needs at least one thread"
+        )),
+        Err(_) => Err(format!(
+            "QPP_THREADS={raw:?} is not a positive integer"
+        )),
+    }
+}
+
 fn default_threads() -> usize {
     static DEFAULT: OnceLock<usize> = OnceLock::new();
     *DEFAULT.get_or_init(|| {
-        match std::env::var("QPP_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-        {
-            Some(n) if n >= 1 => n,
-            _ => std::thread::available_parallelism()
+        let machine = || {
+            std::thread::available_parallelism()
                 .map(|n| n.get())
-                .unwrap_or(1),
+                .unwrap_or(1)
+        };
+        match parse_thread_knob(std::env::var("QPP_THREADS").ok().as_deref()) {
+            Ok(Some(n)) => n,
+            Ok(None) => machine(),
+            Err(reason) => {
+                // Warn exactly once (OnceLock runs this closure once per
+                // process) instead of silently ignoring the knob, then
+                // fall back to the documented default: the machine's
+                // available parallelism.
+                let fallback = machine();
+                eprintln!(
+                    "warning: ignoring invalid {reason}; using available parallelism ({fallback})"
+                );
+                fallback
+            }
         }
     })
 }
@@ -196,6 +227,21 @@ mod tests {
         assert_eq!(resolve_workers(Some(1)), 1);
         assert_eq!(resolve_workers(None), threads());
         assert_eq!(resolve_workers(Some(0)), threads());
+    }
+
+    #[test]
+    fn thread_knob_parses_valid_rejects_invalid() {
+        assert_eq!(parse_thread_knob(None), Ok(None));
+        assert_eq!(parse_thread_knob(Some("4")), Ok(Some(4)));
+        assert_eq!(parse_thread_knob(Some(" 8 ")), Ok(Some(8)));
+        assert!(parse_thread_knob(Some("0")).unwrap_err().contains("zero"));
+        for bad in ["", "four", "-2", "3.5", "1e3"] {
+            let err = parse_thread_knob(Some(bad)).unwrap_err();
+            assert!(
+                err.contains("QPP_THREADS") && err.contains("positive integer"),
+                "{bad:?} -> {err}"
+            );
+        }
     }
 
     #[test]

@@ -21,10 +21,17 @@
 //! - [`server`] — the worker pool tying it together, with request
 //!   coalescing into the compiled batch path and per-batch model
 //!   snapshots that make registry hot swaps safe under load.
+//! - [`tenant`] — multi-tenant bulkheads over the same machinery:
+//!   per-tenant registries, admission budgets, queue quotas and
+//!   weighted-fair dequeue, plus the closed SLO → drift-monitor healing
+//!   loop (quarantine → shadow retrain → validated promote, per tenant).
 //!
 //! Under a seeded overload of 4x the service rate the server sheds and
 //! degrades deterministically instead of queueing unboundedly — see
-//! `tests/serve_overload.rs` and the `serve_load` bench binary.
+//! `tests/serve_overload.rs` and the `serve_load` bench binary. Under a
+//! seeded one-hot tenant burst the noisy tenant is shed at its own
+//! bulkhead while quiet tenants keep their deadline budgets — see
+//! `tests/tenant_isolation.rs` and the `tenant_load` bench binary.
 
 #![warn(missing_docs)]
 
@@ -33,9 +40,14 @@ pub mod deadline;
 pub mod queue;
 pub mod server;
 pub mod stats;
+pub mod tenant;
 
 pub use admission::{AdmissionController, RateLimit, ShedReason, TokenBucket};
 pub use deadline::{entry_tier, tier_for_budget, TierCosts};
 pub use queue::{BoundedQueue, PushError};
 pub use server::{PendingPrediction, PredictionServer, ServeConfig};
 pub use stats::{Endpoint, ServeStats, ServeStatsSnapshot, SloSummary, ENDPOINTS};
+pub use tenant::{
+    HealAction, HealReport, TenantBudget, TenantPushError, TenantServeConfig, TenantServer,
+    TenantSpec, WeightedFairQueue,
+};

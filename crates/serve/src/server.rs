@@ -74,15 +74,16 @@ impl Default for ServeConfig {
     }
 }
 
-/// One queued prediction request.
-struct Job {
-    id: u64,
-    query: Arc<qpp::ExecutedQuery>,
-    method: Method,
-    submitted: Instant,
-    deadline: Option<Instant>,
-    budget_secs: f64,
-    reply: mpsc::Sender<Result<Prediction, QppError>>,
+/// One queued prediction request. Shared with the multi-tenant front-end
+/// in [`crate::tenant`], which queues the same jobs per-tenant.
+pub(crate) struct Job {
+    pub(crate) id: u64,
+    pub(crate) query: Arc<qpp::ExecutedQuery>,
+    pub(crate) method: Method,
+    pub(crate) submitted: Instant,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) budget_secs: f64,
+    pub(crate) reply: mpsc::Sender<Result<Prediction, QppError>>,
 }
 
 /// Handle to a submitted request; resolves to the prediction or a typed
@@ -92,6 +93,10 @@ pub struct PendingPrediction {
 }
 
 impl PendingPrediction {
+    pub(crate) fn new(rx: mpsc::Receiver<Result<Prediction, QppError>>) -> PendingPrediction {
+        PendingPrediction { rx }
+    }
+
     /// Blocks until the request is answered.
     pub fn wait(self) -> Result<Prediction, QppError> {
         self.rx
@@ -278,7 +283,7 @@ fn worker_loop(
     }
 }
 
-fn serve_batch(
+pub(crate) fn serve_batch(
     batch: Vec<Job>,
     stats: &ServeStats,
     predictor: &QppPredictor,

@@ -1,0 +1,704 @@
+//! Multi-tenant bulkhead serving with a closed-loop SLO → drift healing
+//! path.
+//!
+//! The single-queue [`crate::server::PredictionServer`] protects the
+//! *service* from overload, but not tenants from each other: one noisy
+//! workload fills the shared queue and every other caller's p99 pays for
+//! it — the per-workload heterogeneity that production studies of learned
+//! QPP report as a dominant failure mode. This module partitions the
+//! front-end into bulkheads:
+//!
+//! - **Per-tenant shards.** Each tenant owns its own hot-swap
+//!   [`ModelRegistry`], token-bucket admission budget, queue-depth quota,
+//!   SLO counters, and drift monitor (and with it per-tier breaker state
+//!   on its own predictor). A noisy tenant is shed at admission with
+//!   [`QppError::TenantOverloaded`] while quiet tenants keep their
+//!   deadline budgets.
+//! - **Weighted-fair dequeue.** [`WeightedFairQueue`] gives every tenant
+//!   its own FIFO lane and serves the backlogged lane with the smallest
+//!   virtual time (vtime advances by `items / weight` on dequeue), so
+//!   service capacity divides by weight no matter how asymmetric the
+//!   arrival streams are. A global capacity bounds total memory on top of
+//!   the per-tenant quotas.
+//! - **Closed loop.** Each tenant's SLO counters fold into its
+//!   [`DriftMonitor`] as a second escalation signal
+//!   ([`TenantServer::slo_tick`]): sustained degraded/missed/shed traffic
+//!   drives the same Suspect → Quarantined ladder as residual drift, and
+//!   [`TenantServer::heal`] runs quarantine → shadow retrain → promote on
+//!   *that tenant's* registry only, with post-promotion validation and
+//!   rollback when the promoted model regresses on fresh traffic.
+
+use engine::faults::ServeFaultPlan;
+use qpp::{
+    DriftMonitor, Method, ModelHealth, ModelRegistry, MonitorConfig, Prediction, PredictionTier,
+    PromotionReport, QppError, RetrainConfig, SloWindow,
+};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::admission::{AdmissionController, RateLimit, ShedReason};
+use crate::deadline::TierCosts;
+use crate::server::{serve_batch, Job, PendingPrediction};
+use crate::stats::{ServeStats, ServeStatsSnapshot};
+
+/// Why a tenant-aware push was refused.
+#[derive(Debug)]
+pub enum TenantPushError<T> {
+    /// The tenant's own queue quota is exhausted; the item is handed back
+    /// with the tenant's depth at rejection. Only this tenant is affected.
+    TenantFull(T, usize),
+    /// The queue's *global* capacity is exhausted; the item is handed back
+    /// with the total depth at rejection.
+    GlobalFull(T, usize),
+    /// The queue was closed for shutdown; the item is handed back.
+    Closed(T),
+}
+
+struct WfqInner<T> {
+    /// One FIFO lane per tenant.
+    lanes: Vec<VecDeque<T>>,
+    /// Per-tenant virtual finish time: advanced by `items / weight` on
+    /// every dequeue, so the backlogged lane with the smallest vtime is
+    /// always the one furthest below its fair share.
+    vtime: Vec<f64>,
+    /// Global virtual time: the vtime of the most recent dequeue. A lane
+    /// going from empty to non-empty is lifted to at least this value, so
+    /// idle tenants cannot bank credit while away.
+    global_v: f64,
+    total: usize,
+    closed: bool,
+}
+
+/// A bounded multi-lane MPMC queue with weighted-fair dequeue.
+///
+/// Producers push into their tenant's lane and are rejected synchronously
+/// when either the tenant's quota or the global capacity is exhausted —
+/// the bulkhead property: lane `t` filling up never consumes another
+/// lane's quota. Consumers pop *single-tenant batches*: the backlogged
+/// lane with the smallest virtual time is drained up to the batch limit,
+/// and its vtime is charged `items / weight`, which makes long-run service
+/// proportional to weight for continuously backlogged lanes (the classic
+/// virtual-time WFQ argument; the proptests in `tenant_props.rs` pin the
+/// `batch / min_weight` fairness bound exactly).
+pub struct WeightedFairQueue<T> {
+    inner: Mutex<WfqInner<T>>,
+    not_empty: Condvar,
+    weights: Vec<f64>,
+    quotas: Vec<usize>,
+    global_capacity: usize,
+}
+
+impl<T> WeightedFairQueue<T> {
+    /// An empty queue with no lanes and a global capacity of at least 1.
+    pub fn new(global_capacity: usize) -> WeightedFairQueue<T> {
+        WeightedFairQueue {
+            inner: Mutex::new(WfqInner {
+                lanes: Vec::new(),
+                vtime: Vec::new(),
+                global_v: 0.0,
+                total: 0,
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            weights: Vec::new(),
+            quotas: Vec::new(),
+            global_capacity: global_capacity.max(1),
+        }
+    }
+
+    /// Adds a lane with the given fair-share weight and queue-depth quota
+    /// and returns its tenant index. Lanes are fixed before the queue is
+    /// shared (`&mut self`), so the hot path never locks to look up
+    /// weights.
+    pub fn add_tenant(&mut self, weight: f64, quota: usize) -> usize {
+        {
+            let inner = self.inner.get_mut().unwrap();
+            inner.lanes.push(VecDeque::new());
+            inner.vtime.push(0.0);
+        }
+        self.weights
+            .push(if weight.is_finite() { weight.max(1e-6) } else { 1.0 });
+        self.quotas.push(quota.max(1));
+        self.weights.len() - 1
+    }
+
+    /// Number of lanes.
+    pub fn tenants(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Total queued items across all lanes.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().total
+    }
+
+    /// True when no items are queued in any lane.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Queued items in one tenant's lane.
+    pub fn tenant_len(&self, tenant: usize) -> usize {
+        self.inner.lock().unwrap().lanes[tenant].len()
+    }
+
+    /// Non-blocking push into `tenant`'s lane: enqueues and returns the
+    /// lane depth after the push, or rejects (tenant quota first — the
+    /// bulkhead — then global capacity, then shutdown) without waiting.
+    pub fn try_push(&self, tenant: usize, item: T) -> Result<usize, TenantPushError<T>> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(TenantPushError::Closed(item));
+        }
+        let depth = inner.lanes[tenant].len();
+        if depth >= self.quotas[tenant] {
+            return Err(TenantPushError::TenantFull(item, depth));
+        }
+        if inner.total >= self.global_capacity {
+            let total = inner.total;
+            return Err(TenantPushError::GlobalFull(item, total));
+        }
+        if depth == 0 {
+            // A lane waking from idle joins at the current virtual time:
+            // it competes fairly from now on but gets no credit for the
+            // time it spent away.
+            inner.vtime[tenant] = inner.vtime[tenant].max(inner.global_v);
+        }
+        inner.lanes[tenant].push_back(item);
+        inner.total += 1;
+        let depth = inner.lanes[tenant].len();
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocking weighted-fair pop: waits until any lane has items (or the
+    /// queue is closed *and* fully drained, in which case `None` signals
+    /// shutdown), then drains up to `max_batch` items from the backlogged
+    /// lane with the smallest virtual time. Returns the lane's tenant
+    /// index with the (FIFO-ordered, single-tenant) batch.
+    pub fn pop_blocking_batch(&self, max_batch: usize) -> Option<(usize, Vec<T>)> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if inner.total > 0 {
+                return Some(self.take_batch(&mut inner, max_batch));
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Non-blocking weighted-fair pop; `None` when every lane is empty.
+    /// Same selection and vtime accounting as
+    /// [`WeightedFairQueue::pop_blocking_batch`] — the proptests drive
+    /// this entry point in virtual time.
+    pub fn try_pop_batch(&self, max_batch: usize) -> Option<(usize, Vec<T>)> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.total == 0 {
+            return None;
+        }
+        Some(self.take_batch(&mut inner, max_batch))
+    }
+
+    fn take_batch(&self, inner: &mut WfqInner<T>, max_batch: usize) -> (usize, Vec<T>) {
+        debug_assert!(inner.total > 0);
+        // Backlogged lane with the smallest vtime; ties go to the lowest
+        // index so the selection is deterministic.
+        let tenant = (0..inner.lanes.len())
+            .filter(|&t| !inner.lanes[t].is_empty())
+            .min_by(|&a, &b| inner.vtime[a].partial_cmp(&inner.vtime[b]).unwrap())
+            .expect("total > 0 implies a non-empty lane");
+        inner.global_v = inner.global_v.max(inner.vtime[tenant]);
+        let k = inner.lanes[tenant].len().min(max_batch.max(1));
+        let batch: Vec<T> = inner.lanes[tenant].drain(..k).collect();
+        inner.total -= k;
+        inner.vtime[tenant] += k as f64 / self.weights[tenant];
+        (tenant, batch)
+    }
+
+    /// Closes the queue: subsequent pushes are rejected, blocked consumers
+    /// drain what is left and then observe shutdown.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+/// One tenant's serving budget: the bulkhead parameters.
+#[derive(Debug, Clone)]
+pub struct TenantBudget {
+    /// Optional token-bucket rate limit for this tenant alone.
+    pub rate_limit: Option<RateLimit>,
+    /// The tenant's queue-depth quota (its lane's capacity).
+    pub queue_quota: usize,
+    /// Weighted-fair share of service capacity (relative to the other
+    /// tenants' weights).
+    pub weight: f64,
+    /// Deadline applied to this tenant's requests submitted without one.
+    /// `None` means such requests never expire.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for TenantBudget {
+    fn default() -> Self {
+        TenantBudget {
+            rate_limit: None,
+            queue_quota: 64,
+            weight: 1.0,
+            default_deadline: None,
+        }
+    }
+}
+
+/// One tenant to serve: a name, its model registry shard, and its budget.
+pub struct TenantSpec {
+    /// Unique tenant name (the key clients submit under).
+    pub name: String,
+    /// The tenant's own hot-swap model registry.
+    pub registry: Arc<ModelRegistry>,
+    /// The tenant's admission budget and fair-share weight.
+    pub budget: TenantBudget,
+}
+
+/// Multi-tenant serving configuration (the shared, non-bulkhead knobs).
+#[derive(Debug, Clone)]
+pub struct TenantServeConfig {
+    /// Worker threads. `None` defers to the process-wide `ml::par`
+    /// setting, like [`crate::ServeConfig`].
+    pub workers: Option<usize>,
+    /// Global queue capacity across all tenant lanes (enforced on top of
+    /// per-tenant quotas).
+    pub global_capacity: usize,
+    /// Optional global token-bucket rate limit over all tenants combined.
+    pub global_rate_limit: Option<RateLimit>,
+    /// Most requests a worker coalesces into one (single-tenant) batch.
+    pub max_batch: usize,
+    /// Estimated per-tier service costs driving deadline degradation.
+    pub tier_costs: TierCosts,
+    /// Serving-layer fault injection (inert by default).
+    pub faults: ServeFaultPlan,
+    /// Drift-detector configuration cloned into each tenant's monitor.
+    pub monitor: MonitorConfig,
+}
+
+impl Default for TenantServeConfig {
+    fn default() -> Self {
+        TenantServeConfig {
+            workers: None,
+            global_capacity: 1024,
+            global_rate_limit: None,
+            max_batch: 32,
+            tier_costs: TierCosts::default(),
+            faults: ServeFaultPlan::none(),
+            monitor: MonitorConfig::default(),
+        }
+    }
+}
+
+/// Counters already folded into the drift monitor, so consecutive
+/// [`TenantServer::slo_tick`] calls diff disjoint windows.
+#[derive(Debug, Clone, Copy, Default)]
+struct SloSeen {
+    served: u64,
+    degraded: u64,
+    deadline_missed: u64,
+    shed: u64,
+}
+
+struct TenantShard {
+    name: String,
+    registry: Arc<ModelRegistry>,
+    budget: TenantBudget,
+    admission: Mutex<AdmissionController>,
+    stats: Arc<ServeStats>,
+    monitor: Mutex<DriftMonitor>,
+    slo_seen: Mutex<SloSeen>,
+}
+
+/// What one [`TenantServer::heal`] round did to a tenant's registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HealAction {
+    /// No learned tier was quarantined; nothing to heal.
+    NotNeeded,
+    /// A retrained candidate was promoted and validated; the tenant's
+    /// monitor and breakers were reset.
+    Promoted,
+    /// The candidate did not beat the incumbent by the configured margin;
+    /// the incumbent keeps serving and the quarantine stands.
+    KeptIncumbent,
+    /// The candidate was promoted but regressed on the validation window,
+    /// so the promotion was rolled back. The quarantine stands.
+    RolledBack,
+}
+
+/// Outcome of one healing round for one tenant.
+#[derive(Debug, Clone)]
+pub struct HealReport {
+    /// What happened.
+    pub action: HealAction,
+    /// The shadow-retrain comparison, when one ran.
+    pub report: Option<PromotionReport>,
+    /// Serving registry version after the round.
+    pub version: u64,
+}
+
+/// A tenant-isolated prediction service: per-tenant registries, budgets,
+/// SLO accounting, and drift monitors behind one weighted-fair worker
+/// pool. Dropping the server closes the queue, drains what was admitted,
+/// and joins all workers.
+pub struct TenantServer {
+    shards: Vec<Arc<TenantShard>>,
+    by_name: HashMap<String, usize>,
+    queue: Arc<WeightedFairQueue<Job>>,
+    global_admission: Mutex<AdmissionController>,
+    tier_costs: TierCosts,
+    started: Instant,
+    next_id: AtomicU64,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl TenantServer {
+    /// Starts a server over the given tenant shards. Tenant names must be
+    /// unique; the set is fixed for the server's lifetime (bulkheads are
+    /// structural, not dynamic).
+    pub fn start(tenants: Vec<TenantSpec>, config: TenantServeConfig) -> TenantServer {
+        assert!(!tenants.is_empty(), "need at least one tenant");
+        let worker_count = ml::par::resolve_workers(config.workers);
+        let mut queue = WeightedFairQueue::new(config.global_capacity);
+        let mut shards = Vec::with_capacity(tenants.len());
+        let mut by_name = HashMap::new();
+        for spec in tenants {
+            let idx = queue.add_tenant(spec.budget.weight, spec.budget.queue_quota);
+            let prev = by_name.insert(spec.name.clone(), idx);
+            assert!(prev.is_none(), "duplicate tenant name {:?}", spec.name);
+            let rate_limit = spec.budget.rate_limit;
+            shards.push(Arc::new(TenantShard {
+                name: spec.name,
+                registry: spec.registry,
+                budget: spec.budget,
+                // The lane quota already bounds queued depth exactly (and
+                // race-free, inside the queue lock); the per-tenant
+                // controller polices only the rate budget.
+                admission: Mutex::new(AdmissionController::new(rate_limit, usize::MAX >> 1)),
+                stats: Arc::new(ServeStats::new()),
+                monitor: Mutex::new(DriftMonitor::new(config.monitor.clone())),
+                slo_seen: Mutex::new(SloSeen::default()),
+            }));
+        }
+        let queue = Arc::new(queue);
+        let max_batch = config.max_batch.max(1);
+        let workers = (0..worker_count)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let shards = shards.clone();
+                let faults = config.faults.clone();
+                let tier_costs = config.tier_costs;
+                std::thread::spawn(move || {
+                    tenant_worker_loop(&queue, &shards, &faults, tier_costs, max_batch)
+                })
+            })
+            .collect();
+        TenantServer {
+            shards,
+            by_name,
+            queue,
+            global_admission: Mutex::new(AdmissionController::new(
+                config.global_rate_limit,
+                usize::MAX >> 1,
+            )),
+            tier_costs: config.tier_costs,
+            started: Instant::now(),
+            next_id: AtomicU64::new(0),
+            workers,
+        }
+    }
+
+    /// The tenant names this server shards by, in tenant-index order.
+    pub fn tenant_names(&self) -> Vec<&str> {
+        self.shards.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// One tenant's model registry shard.
+    pub fn registry(&self, tenant: &str) -> Result<&Arc<ModelRegistry>, QppError> {
+        Ok(&self.shard(tenant)?.registry)
+    }
+
+    /// One tenant's serving statistics snapshot.
+    pub fn stats(&self, tenant: &str) -> Result<ServeStatsSnapshot, QppError> {
+        Ok(self.shard(tenant)?.stats.snapshot())
+    }
+
+    /// Submits a prediction request on behalf of `tenant`. Admission runs
+    /// synchronously on the calling thread, bulkhead checks first:
+    ///
+    /// 1. the global rate budget ([`QppError::Overloaded`] — the service
+    ///    as a whole is saturated),
+    /// 2. the tenant's own rate budget
+    ///    ([`QppError::TenantOverloaded`] — only this tenant is shed),
+    /// 3. the tenant's queue quota (`TenantOverloaded`) and the global
+    ///    capacity (`Overloaded`), enforced atomically inside the queue.
+    pub fn submit(
+        &self,
+        tenant: &str,
+        query: Arc<qpp::ExecutedQuery>,
+        method: Method,
+        deadline: Option<Duration>,
+    ) -> Result<PendingPrediction, QppError> {
+        let idx = self.index(tenant)?;
+        let shard = &self.shards[idx];
+        shard.stats.record_submitted();
+        let now = Instant::now();
+        let now_secs = self.started.elapsed().as_secs_f64();
+        let total_depth = self.queue.len();
+        if self
+            .global_admission
+            .lock()
+            .unwrap()
+            .admit(now_secs, total_depth)
+            .is_err()
+        {
+            shard.stats.record_shed(ShedReason::RateLimited);
+            return Err(QppError::Overloaded {
+                queue_depth: total_depth,
+            });
+        }
+        if shard
+            .admission
+            .lock()
+            .unwrap()
+            .admit(now_secs, 0)
+            .is_err()
+        {
+            shard.stats.record_shed(ShedReason::RateLimited);
+            return Err(QppError::TenantOverloaded {
+                tenant: shard.name.clone(),
+            });
+        }
+        let budget = deadline.or(shard.budget.default_deadline);
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            query,
+            method,
+            submitted: now,
+            deadline: budget.map(|d| now + d),
+            budget_secs: budget.map_or(f64::INFINITY, |d| d.as_secs_f64()),
+            reply: tx,
+        };
+        match self.queue.try_push(idx, job) {
+            Ok(_) => Ok(PendingPrediction::new(rx)),
+            Err(TenantPushError::TenantFull(_, _)) => {
+                shard.stats.record_shed(ShedReason::QueueFull);
+                Err(QppError::TenantOverloaded {
+                    tenant: shard.name.clone(),
+                })
+            }
+            Err(TenantPushError::GlobalFull(_, depth)) => {
+                shard.stats.record_shed(ShedReason::QueueFull);
+                Err(QppError::Overloaded { queue_depth: depth })
+            }
+            Err(TenantPushError::Closed(_)) => {
+                Err(QppError::Internal("tenant server is shutting down"))
+            }
+        }
+    }
+
+    /// Convenience: submit for `tenant` and block for the answer.
+    pub fn predict(
+        &self,
+        tenant: &str,
+        query: Arc<qpp::ExecutedQuery>,
+        method: Method,
+        deadline: Option<Duration>,
+    ) -> Result<Prediction, QppError> {
+        self.submit(tenant, query, method, deadline)?.wait()
+    }
+
+    /// Folds one `(prediction, observed latency)` residual into `tenant`'s
+    /// drift monitor, attributing it to the executed plan's operator types
+    /// and tripping the tenant's circuit breaker on quarantine — the
+    /// accuracy half of the feedback loop, scoped to one bulkhead.
+    pub fn observe(
+        &self,
+        tenant: &str,
+        tier: PredictionTier,
+        predicted: f64,
+        observed: f64,
+        op_types: &[engine::OpType],
+    ) -> Result<ModelHealth, QppError> {
+        let shard = self.shard(tenant)?;
+        let predictor = shard.registry.current();
+        Ok(shard.monitor.lock().unwrap().ingest(
+            &predictor,
+            tier,
+            predicted,
+            observed,
+            op_types,
+        ))
+    }
+
+    /// Folds the tenant's SLO counters accumulated since the previous tick
+    /// into its drift monitor as the second escalation signal, and returns
+    /// the window that was applied with the resulting health.
+    ///
+    /// The window is attributed to the Hybrid tier — the entry of the
+    /// degradation chain: sustained pressure means the accurate tier is
+    /// not answering within budget, and that is the model set a shadow
+    /// retrain would replace. Call this periodically (every accounting
+    /// interval); consecutive ticks see disjoint windows.
+    pub fn slo_tick(&self, tenant: &str) -> Result<(SloWindow, ModelHealth), QppError> {
+        let shard = self.shard(tenant)?;
+        let snap = shard.stats.snapshot();
+        let mut seen = shard.slo_seen.lock().unwrap();
+        let shed = snap.shed();
+        let window = SloWindow {
+            served: (snap.served - snap.degraded) - (seen.served - seen.degraded),
+            degraded: snap.degraded - seen.degraded,
+            deadline_missed: snap.deadline_missed - seen.deadline_missed,
+            shed: shed - seen.shed,
+        };
+        *seen = SloSeen {
+            served: snap.served,
+            degraded: snap.degraded,
+            deadline_missed: snap.deadline_missed,
+            shed,
+        };
+        drop(seen);
+        let health = shard
+            .monitor
+            .lock()
+            .unwrap()
+            .observe_slo(PredictionTier::Hybrid, &window);
+        Ok((window, health))
+    }
+
+    /// Current drift-monitor health of one tenant's tier.
+    pub fn health(&self, tenant: &str, tier: PredictionTier) -> Result<ModelHealth, QppError> {
+        Ok(self.shard(tenant)?.monitor.lock().unwrap().health(tier))
+    }
+
+    /// True when any of `tenant`'s learned tiers is quarantined — the cue
+    /// to call [`TenantServer::heal`].
+    pub fn any_quarantined(&self, tenant: &str) -> Result<bool, QppError> {
+        Ok(self.shard(tenant)?.monitor.lock().unwrap().any_quarantined())
+    }
+
+    /// One healing round for one tenant: when a learned tier is
+    /// quarantined, shadow-retrains on `recent`, promotes the candidate if
+    /// it wins the held-out comparison, then *validates the promotion* by
+    /// scoring the just-promoted model (as reloaded from its snapshot) on
+    /// the same recent window — if it regressed past the incumbent's
+    /// held-out error by more than `rollback_tolerance` (relative), the
+    /// promotion is rolled back. On a validated promotion the tenant's
+    /// monitor and circuit breakers are reset so the new model serves at
+    /// full accuracy. Other tenants' registries are never touched.
+    pub fn heal(
+        &self,
+        tenant: &str,
+        recent: &[&qpp::ExecutedQuery],
+        cfg: &RetrainConfig,
+        rollback_tolerance: f64,
+    ) -> Result<HealReport, QppError> {
+        let shard = self.shard(tenant)?;
+        if !shard.monitor.lock().unwrap().any_quarantined() {
+            return Ok(HealReport {
+                action: HealAction::NotNeeded,
+                report: None,
+                version: shard.registry.version(),
+            });
+        }
+        let report = shard.registry.shadow_retrain(recent, cfg)?;
+        if !report.promoted {
+            return Ok(HealReport {
+                action: HealAction::KeptIncumbent,
+                version: report.version,
+                report: Some(report),
+            });
+        }
+        // Post-promotion validation on fresh traffic: the served model is
+        // the snapshot round-trip of the candidate, so score *it*, not
+        // the in-memory candidate the comparison used.
+        let promoted_error = shard.registry.score_current(recent);
+        if !promoted_error.is_finite()
+            || promoted_error > report.incumbent_error * (1.0 + rollback_tolerance.max(0.0))
+        {
+            let version = shard.registry.rollback()?;
+            return Ok(HealReport {
+                action: HealAction::RolledBack,
+                version,
+                report: Some(report),
+            });
+        }
+        let mut monitor = shard.monitor.lock().unwrap();
+        monitor.reset_all();
+        shard.registry.current().reset_breakers();
+        Ok(HealReport {
+            action: HealAction::Promoted,
+            version: report.version,
+            report: Some(report),
+        })
+    }
+
+    fn index(&self, tenant: &str) -> Result<usize, QppError> {
+        self.by_name
+            .get(tenant)
+            .copied()
+            .ok_or(QppError::Internal("unknown tenant"))
+    }
+
+    fn shard(&self, tenant: &str) -> Result<&Arc<TenantShard>, QppError> {
+        Ok(&self.shards[self.index(tenant)?])
+    }
+
+    /// The per-tier service-cost estimates this server degrades against.
+    pub fn tier_costs(&self) -> &TierCosts {
+        &self.tier_costs
+    }
+}
+
+impl Drop for TenantServer {
+    fn drop(&mut self) {
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            if let Err(p) = handle.join() {
+                std::panic::resume_unwind(p);
+            }
+        }
+    }
+}
+
+fn tenant_worker_loop(
+    queue: &WeightedFairQueue<Job>,
+    shards: &[Arc<TenantShard>],
+    faults: &ServeFaultPlan,
+    tier_costs: TierCosts,
+    max_batch: usize,
+) {
+    while let Some((tenant, batch)) = queue.pop_blocking_batch(max_batch) {
+        let shard = &shards[tenant];
+        shard.stats.record_batch(batch.len());
+
+        let outcome = faults.decide(batch[0].id);
+        if outcome.stall_secs > 0.0 {
+            shard.stats.record_stall();
+            std::thread::sleep(Duration::from_secs_f64(outcome.stall_secs));
+        }
+
+        // Snapshot *this tenant's* serving model once per batch: batches
+        // are single-tenant, so one tenant's promote/rollback can never
+        // tear — or even touch — another tenant's predictions.
+        let predictor = shard.registry.current();
+        let cache = Arc::clone(shard.registry.pred_cache());
+
+        serve_batch(batch, &shard.stats, &predictor, &cache, tier_costs);
+
+        if outcome.slow_consumer {
+            std::thread::sleep(Duration::from_secs_f64(faults.stall_secs.max(0.0) * 0.5));
+        }
+    }
+}

@@ -13,6 +13,9 @@
 #                     and bursty-overload load
 #   BENCH_drift.json  drift_loop — drift detection / shadow-retrain /
 #                     promotion lifecycle
+#   BENCH_tenant.json tenant_load — multi-tenant bulkheads: noisy-neighbor
+#                     isolation, weighted-fair dequeue, SLO -> drift
+#                     healing loop
 #
 # (BENCH_pr7.json is the frozen PR-7 artifact, kept for history; it is
 # schema-checked but no longer regenerated.)
@@ -38,5 +41,8 @@ timeout 600 ./target/release/serve_load BENCH_serve.json
 echo "==> drift_loop BENCH_drift.json"
 timeout 600 ./target/release/drift_loop BENCH_drift.json
 
+echo "==> tenant_load BENCH_tenant.json"
+timeout 600 ./target/release/tenant_load BENCH_tenant.json
+
 echo "==> bench_compare --check-schema"
-./target/release/bench_compare --check-schema BENCH_pr8.json BENCH_pr7.json BENCH_serve.json BENCH_drift.json
+./target/release/bench_compare --check-schema BENCH_pr8.json BENCH_pr7.json BENCH_serve.json BENCH_drift.json BENCH_tenant.json

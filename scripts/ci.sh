@@ -49,6 +49,14 @@ timeout 300 cargo test -q --test serve_overload
 timeout 300 cargo test -q --test swap_under_load
 timeout 300 cargo test -q -p qpp-serve
 
+# Noisy-neighbor stress gate: a seeded one-hot tenant burst must shed at
+# the hot tenant's bulkhead while the quiet tenant keeps its deadline
+# budget, and the SLO -> drift healing loop must promote per tenant. The
+# suite is seeded and bounded: a hang (worker deadlock, starved lane) is a
+# failure, not a stall.
+echo "==> tenant noisy-neighbor stress gate (bounded time)"
+timeout 60 cargo test -q --test tenant_isolation
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -62,7 +70,7 @@ cargo bench --workspace --no-run
 # absolute rows/s stay informational.
 echo "==> BENCH-v1 schema check"
 cargo build --release -p qpp-bench
-./target/release/bench_compare --check-schema BENCH_pr8.json BENCH_pr7.json BENCH_serve.json BENCH_drift.json
+./target/release/bench_compare --check-schema BENCH_pr8.json BENCH_pr7.json BENCH_serve.json BENCH_drift.json BENCH_tenant.json
 
 # One fresh hot-path run feeds three self-normalizing ratio gates: the
 # inference kernel, the blocked Gram build, and the end-to-end
