@@ -1,0 +1,323 @@
+//! Load generator for the networked front door, in three phases:
+//!
+//! A. **Clean wire throughput** — parallel persistent `QPPWIRE-v1`
+//!    clients hammer the TCP front door with plan-level requests;
+//!    measures end-to-end requests/s and client-observed p50/p99 wire
+//!    latency (encode → TCP → serve → TCP → decode).
+//! B. **Seeded wire chaos** — a `NetFaultPlan`-scripted noisy client
+//!    (partial writes, mid-frame disconnects, corrupted frames, stalled
+//!    readers) storms the same server while a clean client keeps
+//!    measuring; reports the clean client's p99 under chaos and the
+//!    server's malformed/evicted counters. Session panics must be zero.
+//! C. **Graceful drain** — parallel clients are mid-burst when the
+//!    server shuts down; measures the drain wall time and checks the
+//!    final ledger reconciles exactly
+//!    (`accepted == served + shed + missed + aborted`).
+//!
+//! Prints a narrative to stderr and writes `BENCH_net.json` in the
+//! `BENCH-v1` schema (see `qpp_bench::schema`).
+//!
+//! Usage: `net_load [OUT_PATH] [--per-template N]`
+
+use engine::faults::NetFaultPlan;
+use engine::{Catalog, Simulator};
+use qpp::{ExecutedQuery, Method, ModelRegistry, QppConfig, QppPredictor, QueryDataset};
+use qpp_bench::schema::BenchDoc;
+use serve::tenant::{TenantBudget, TenantServeConfig, TenantServer, TenantSpec};
+use serve::{Client, Frame, NetConfig, NetServer, Request};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tpch::Workload;
+
+const TEMPLATES: &[u8] = &[1, 6, 14];
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn registry_over(ds: &QueryDataset, tag: &str) -> (Arc<ModelRegistry>, std::path::PathBuf) {
+    let refs: Vec<&ExecutedQuery> = ds.queries.iter().collect();
+    let predictor = QppPredictor::train(&refs, QppConfig::default()).expect("training");
+    let dir = std::env::temp_dir().join(format!("qpp-net-load-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = Arc::new(
+        ModelRegistry::create(&dir, predictor, QppConfig::default()).expect("registry create"),
+    );
+    (registry, dir)
+}
+
+/// Drives `count` requests over one persistent connection, returning the
+/// per-call wire latencies in seconds.
+fn client_run(addr: SocketAddr, tenant: &str, queries: &[ExecutedQuery], count: usize) -> Vec<f64> {
+    let mut client = Client::connect(addr).expect("client connect");
+    let mut lat = Vec::with_capacity(count);
+    for i in 0..count {
+        let req = Request {
+            id: i as u64,
+            tenant: tenant.to_string(),
+            method: Method::PlanLevel,
+            deadline_micros: None,
+            query: queries[i % queries.len()].clone(),
+        };
+        let t0 = Instant::now();
+        let reply = client.request(req).expect("transport");
+        lat.push(t0.elapsed().as_secs_f64());
+        reply.expect("clean-phase request served");
+    }
+    lat
+}
+
+/// Replays one noisy frame under its scripted fault outcome on a fresh
+/// connection (mirrors `tests/net_chaos.rs`).
+fn chaos_frame(addr: SocketAddr, bytes: &[u8], plan: &NetFaultPlan, frame_id: u64) {
+    let outcome = plan.decide(frame_id, bytes.len());
+    let stall = Duration::from_secs_f64(outcome.stall_secs);
+    let mut stream = TcpStream::connect(addr).expect("chaos connect");
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    if let Some(cut) = outcome.disconnect_at {
+        let _ = stream.write_all(&bytes[..cut]);
+        return;
+    }
+    let mut wire = bytes.to_vec();
+    if let Some((offset, mask)) = outcome.corrupt_at {
+        wire[offset] ^= mask;
+    }
+    if let Some(split) = outcome.partial_write_at {
+        let _ = stream.write_all(&wire[..split]);
+        let _ = stream.flush();
+        std::thread::sleep(stall);
+        let _ = stream.write_all(&wire[split..]);
+    } else {
+        let _ = stream.write_all(&wire);
+        if !stall.is_zero() {
+            std::thread::sleep(stall);
+        }
+    }
+    let mut reply = [0u8; 4096];
+    let _ = stream.read(&mut reply);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_net.json".to_string());
+    let per_template = args
+        .iter()
+        .position(|a| a == "--per-template")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6usize);
+
+    eprintln!("== setup: collect + train two tenant registries ==");
+    let catalog = Catalog::new(0.1, 1);
+    let sim = Simulator::with_config(engine::SimConfig {
+        additive_noise_secs: 0.05,
+        ..engine::SimConfig::default()
+    });
+    let ds = QueryDataset::execute(
+        &catalog,
+        &Workload::generate(TEMPLATES, per_template, 0.1, 7),
+        &sim,
+        11,
+        f64::INFINITY,
+    );
+    let queries = ds.queries.clone();
+    let (served_registry, served_dir) = registry_over(&ds, "served");
+    let (noisy_registry, noisy_dir) = registry_over(&ds, "noisy");
+
+    let server = Arc::new(TenantServer::start(
+        vec![
+            TenantSpec {
+                name: "served".into(),
+                registry: Arc::clone(&served_registry),
+                budget: TenantBudget::default(),
+            },
+            TenantSpec {
+                name: "noisy".into(),
+                registry: Arc::clone(&noisy_registry),
+                budget: TenantBudget::default(),
+            },
+        ],
+        TenantServeConfig::default(),
+    ));
+    let net_config = NetConfig {
+        max_connections: 8,
+        read_timeout: Duration::from_millis(250),
+        write_timeout: Duration::from_secs(1),
+        drain: Duration::from_secs(5),
+        ..NetConfig::default()
+    };
+
+    // -- Phase A: clean wire throughput ---------------------------------
+    eprintln!("== phase A: clean wire throughput ==");
+    let client_threads = 4usize;
+    let per_client = 64usize;
+    let mut net =
+        NetServer::bind(("127.0.0.1", 0), Arc::clone(&server), net_config.clone()).unwrap();
+    let addr = net.local_addr();
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..client_threads)
+        .map(|_| {
+            let queries = queries.clone();
+            std::thread::spawn(move || client_run(addr, "served", &queries, per_client))
+        })
+        .collect();
+    let mut latencies: Vec<f64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect();
+    let clean_wall = t0.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let total = (client_threads * per_client) as f64;
+    let rps = total / clean_wall;
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    eprintln!(
+        "   {total:.0} requests over {client_threads} connections in {clean_wall:.3}s \
+         = {rps:.0} req/s, p50 {:.2} ms p99 {:.2} ms",
+        p50 * 1e3,
+        p99 * 1e3
+    );
+
+    // -- Phase B: seeded wire chaos -------------------------------------
+    eprintln!("== phase B: seeded wire chaos ==");
+    let plan = NetFaultPlan {
+        partial_write_prob: 0.3,
+        disconnect_prob: 0.25,
+        corrupt_prob: 0.25,
+        stall_prob: 0.3,
+        stall_secs: 0.02,
+        seed: 17,
+    };
+    let chaos_frames = 48usize;
+    let before = net.stats();
+    let mut clean = Client::connect(addr).expect("clean client");
+    let mut chaos_lat = Vec::with_capacity(chaos_frames);
+    for i in 0..chaos_frames {
+        let bytes = Frame::Request(Request {
+            id: 10_000 + i as u64,
+            tenant: "noisy".to_string(),
+            method: Method::PlanLevel,
+            deadline_micros: None,
+            query: queries[(i * 7) % queries.len()].clone(),
+        })
+        .encode();
+        chaos_frame(addr, &bytes, &plan, i as u64);
+        let req = Request {
+            id: i as u64,
+            tenant: "served".to_string(),
+            method: Method::PlanLevel,
+            deadline_micros: None,
+            query: queries[i % queries.len()].clone(),
+        };
+        let t0 = Instant::now();
+        let reply = clean.request(req).expect("clean transport under chaos");
+        chaos_lat.push(t0.elapsed().as_secs_f64());
+        reply.expect("clean request served under chaos");
+    }
+    drop(clean);
+    chaos_lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let chaos_p99 = percentile(&chaos_lat, 0.99);
+    let after = net.stats();
+    let malformed = after.malformed_frames - before.malformed_frames;
+    let evicted = after.conns_evicted - before.conns_evicted;
+    eprintln!(
+        "   {chaos_frames} chaos frames: {malformed} malformed, {evicted} evicted, \
+         {} session panics, clean p99 {:.2} ms",
+        after.session_panics,
+        chaos_p99 * 1e3
+    );
+    assert_eq!(after.session_panics, 0, "a worker session panicked");
+
+    // -- Phase C: graceful drain under load -----------------------------
+    eprintln!("== phase C: graceful drain under load ==");
+    let drain_clients = 4usize;
+    let stop_after = 8192usize;
+    let loaders: Vec<_> = (0..drain_clients)
+        .map(|_| {
+            let queries = queries.clone();
+            std::thread::spawn(move || {
+                let Ok(mut client) = Client::connect(addr) else {
+                    return 0usize;
+                };
+                let mut delivered = 0usize;
+                for i in 0..stop_after {
+                    let req = Request {
+                        id: i as u64,
+                        tenant: "served".to_string(),
+                        method: Method::PlanLevel,
+                        deadline_micros: None,
+                        query: queries[i % queries.len()].clone(),
+                    };
+                    // Transport errors are expected once the drain
+                    // closes the session; typed replies still count.
+                    match client.request(req) {
+                        Ok(_) => delivered += 1,
+                        Err(_) => break,
+                    }
+                }
+                delivered
+            })
+        })
+        .collect();
+    // Let the burst get airborne, then pull the plug mid-flight: the
+    // burst is sized so clients are still sending when the drain starts.
+    std::thread::sleep(Duration::from_millis(20));
+    let t0 = Instant::now();
+    let snap = net.shutdown();
+    let drain_wall = t0.elapsed().as_secs_f64();
+    let delivered: usize = loaders.into_iter().map(|h| h.join().unwrap_or(0)).sum();
+    eprintln!(
+        "   drained in {drain_wall:.3}s with {delivered} replies delivered; \
+         ledger: accepted {} = served {} + shed {} + missed {} + aborted {}",
+        snap.accepted, snap.served, snap.shed, snap.missed, snap.aborted
+    );
+    assert!(
+        snap.reconciles(),
+        "front-door ledger must balance exactly: {snap:?}"
+    );
+    let report = server.shutdown();
+    assert!(report.reconciles(), "tenant ledgers must balance");
+
+    let mut doc = BenchDoc::new(
+        "net_load",
+        10,
+        serde_json::json!({
+            "templates": TEMPLATES,
+            "per_template": per_template,
+            "client_threads": client_threads,
+            "per_client": per_client,
+            "chaos_frames": chaos_frames,
+            "chaos_seed": plan.seed,
+            "read_timeout_ms": 250,
+            "drain_clients": drain_clients,
+        }),
+    );
+    doc.push("tcp/requests_per_sec", rps, "rps");
+    doc.push("tcp/p50", p50 * 1e3, "ms");
+    doc.push("tcp/p99", p99 * 1e3, "ms");
+    doc.push("chaos/clean_p99", chaos_p99 * 1e3, "ms");
+    doc.push("chaos/malformed_frames", malformed as f64, "frames");
+    doc.push("chaos/conns_evicted", evicted as f64, "connections");
+    doc.push("chaos/session_panics", after.session_panics as f64, "panics");
+    doc.push("drain/wall", drain_wall, "s");
+    doc.push("drain/accepted", snap.accepted as f64, "requests");
+    doc.push("drain/served", snap.served as f64, "requests");
+    doc.push("drain/aborted", snap.aborted as f64, "requests");
+    doc.validate().expect("emitted document violates BENCH-v1");
+    let rendered = serde_json::to_string_pretty(&doc).expect("serialize bench report");
+    std::fs::write(&out_path, rendered + "\n").expect("write bench report");
+    println!("{out_path}");
+    let _ = std::fs::remove_dir_all(&served_dir);
+    let _ = std::fs::remove_dir_all(&noisy_dir);
+}

@@ -163,7 +163,7 @@ fn main() {
     let max_batch = 8usize;
     let pops = 3000usize;
     let fill = pops * max_batch + 1;
-    let mut q = WeightedFairQueue::new(fill * weights.len());
+    let q = WeightedFairQueue::new(fill * weights.len());
     for &w in &weights {
         q.add_tenant(w, fill);
     }

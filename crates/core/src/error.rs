@@ -59,6 +59,37 @@ pub enum QppError {
     Internal(&'static str),
 }
 
+impl QppError {
+    /// The stable `QPPWIRE-v1` error code of this variant.
+    ///
+    /// The networked front door (`qpp-serve`'s codec) maps every error it
+    /// returns onto a typed wire frame carrying this code; the numbering
+    /// lives here, next to the enum, so adding a variant forces the wire
+    /// contract to be extended in the same change. Codes are grouped by
+    /// substrate — `0x01xx` learning, `0x02xx` execution, `0x03xx`
+    /// pipeline, `0x04xx` serving/admission — and once published a code
+    /// is never reused for a different meaning.
+    pub fn wire_code(&self) -> u16 {
+        match self {
+            QppError::Ml(MlError::ShapeMismatch { .. }) => 0x0101,
+            QppError::Ml(MlError::EmptyDataset) => 0x0102,
+            QppError::Ml(MlError::NotPositiveDefinite) => 0x0103,
+            QppError::Ml(MlError::InvalidParameter(_)) => 0x0104,
+            QppError::Ml(MlError::NonFiniteData) => 0x0105,
+            QppError::Ml(MlError::DidNotConverge { .. }) => 0x0106,
+            QppError::Exec(ExecError::Aborted { .. }) => 0x0201,
+            QppError::Exec(ExecError::Timeout { .. }) => 0x0202,
+            QppError::NoTrainingData => 0x0301,
+            QppError::InvalidSnapshot(_) => 0x0302,
+            QppError::Io(_) => 0x0303,
+            QppError::Internal(_) => 0x0304,
+            QppError::Overloaded { .. } => 0x0401,
+            QppError::TenantOverloaded { .. } => 0x0402,
+            QppError::DeadlineExceeded { .. } => 0x0403,
+        }
+    }
+}
+
 impl std::fmt::Display for QppError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -23,31 +23,53 @@
 //!   snapshots that make registry hot swaps safe under load.
 //! - [`tenant`] — multi-tenant bulkheads over the same machinery:
 //!   per-tenant registries, admission budgets, queue quotas and
-//!   weighted-fair dequeue, plus the closed SLO → drift-monitor healing
-//!   loop (quarantine → shadow retrain → validated promote, per tenant).
+//!   weighted-fair dequeue (with dynamic add/remove under load), plus the
+//!   closed SLO → drift-monitor healing loop (quarantine → shadow retrain
+//!   → validated promote, per tenant).
+//! - [`healer`] — a supervised background thread driving that healing
+//!   loop unattended on a jittered cadence, surviving panicking heals via
+//!   `catch_unwind` and breaker-style backoff.
+//! - [`codec`] — the versioned `QPPWIRE-v1` length-prefixed binary wire
+//!   protocol: request/response frames and typed error frames mapping
+//!   every [`qpp::QppError`] variant onto stable wire codes; decoding
+//!   never panics on arbitrary bytes.
+//! - [`net`] — the TCP front door speaking that protocol: acceptor +
+//!   fixed worker pool, per-connection read/write deadlines, slowloris
+//!   eviction, malformed-frame rejection, and graceful drain whose
+//!   counters reconcile exactly.
 //!
 //! Under a seeded overload of 4x the service rate the server sheds and
 //! degrades deterministically instead of queueing unboundedly — see
 //! `tests/serve_overload.rs` and the `serve_load` bench binary. Under a
 //! seeded one-hot tenant burst the noisy tenant is shed at its own
 //! bulkhead while quiet tenants keep their deadline budgets — see
-//! `tests/tenant_isolation.rs` and the `tenant_load` bench binary.
+//! `tests/tenant_isolation.rs` and the `tenant_load` bench binary. Under
+//! seeded network chaos (partial writes, mid-frame disconnects, corrupt
+//! frames, stalled readers) quiet tenants' responses stay bit-identical
+//! to the fault-free run — see `tests/net_chaos.rs` and the `net_load`
+//! bench binary.
 
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod codec;
 pub mod deadline;
+pub mod healer;
+pub mod net;
 pub mod queue;
 pub mod server;
 pub mod stats;
 pub mod tenant;
 
 pub use admission::{AdmissionController, RateLimit, ShedReason, TokenBucket};
+pub use codec::{DecodeError, ErrorFrame, Frame, Request, Response, DEFAULT_MAX_FRAME};
 pub use deadline::{entry_tier, tier_for_budget, TierCosts};
+pub use healer::{HealSource, Healer, HealerConfig};
+pub use net::{Client, NetConfig, NetServer, NetStatsSnapshot};
 pub use queue::{BoundedQueue, PushError};
 pub use server::{PendingPrediction, PredictionServer, ServeConfig};
 pub use stats::{Endpoint, ServeStats, ServeStatsSnapshot, SloSummary, ENDPOINTS};
 pub use tenant::{
-    HealAction, HealReport, TenantBudget, TenantPushError, TenantServeConfig, TenantServer,
-    TenantSpec, WeightedFairQueue,
+    HealAction, HealReport, RemovedTenant, ShutdownReport, TenantBudget, TenantPushError,
+    TenantServeConfig, TenantServer, TenantSpec, WeightedFairQueue,
 };

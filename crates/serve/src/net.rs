@@ -1,0 +1,742 @@
+//! The networked front door: `QPPWIRE-v1` over TCP with connection-level
+//! resilience and an exactly-reconciled graceful drain.
+//!
+//! Everything below is dependency-free blocking I/O on `std::net`:
+//!
+//! - **Acceptor + fixed worker pool.** One acceptor thread polls a
+//!   non-blocking listener and hands sockets to a bounded queue
+//!   ([`NetConfig::accept_backlog`]); `max_connections` worker threads
+//!   each own one connection at a time. A connection that arrives with
+//!   the backlog full is *refused* with a typed
+//!   [`QppError::Overloaded`] error frame and closed — admission control
+//!   at the socket layer, mirroring the in-process front door.
+//! - **Connection-level resilience.** Per-connection read deadlines with
+//!   slow-client (slowloris) eviction — a peer that starts a frame and
+//!   stalls past [`NetConfig::read_timeout`] is dropped, as is one that
+//!   idles far past it between frames — write timeouts on every reply,
+//!   a hard frame-size cap, and malformed-frame rejection that answers
+//!   with a typed error and *keeps the worker alive*: a session panic is
+//!   caught per connection, counted, and the worker moves on.
+//! - **Graceful drain.** [`NetServer::shutdown`] stops accepting, lets
+//!   every in-flight request run to completion (bounded by
+//!   [`NetConfig::drain`]), joins all threads, and returns counters that
+//!   reconcile exactly: `accepted == served + shed + missed + aborted`.
+//!   Every request takes exactly one of the four exits; malformed frames
+//!   are counted separately because they never became requests.
+//!
+//! The `QPP_NET_*` environment knobs size the front door at startup; an
+//! invalid value warns once and falls back to the documented default,
+//! the same contract as `QPP_THREADS` (see `ml::par`).
+
+use std::collections::HashSet;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use qpp::{Prediction, QppError};
+
+use crate::codec::{decode_header, ErrorFrame, Frame, Request, Response, DEFAULT_MAX_FRAME, HEADER_LEN};
+use crate::queue::{BoundedQueue, PushError};
+use crate::tenant::TenantServer;
+
+/// Granularity of the read loop's deadline checks: the socket read
+/// timeout is this tick, and elapsed-time bookkeeping runs between ticks.
+const READ_TICK: Duration = Duration::from_millis(10);
+
+/// Acceptor poll interval while the listener has nothing for us.
+const ACCEPT_TICK: Duration = Duration::from_millis(2);
+
+/// A connection idling *between* frames is closed after this many read
+/// timeouts' worth of silence (mid-frame stalls get exactly one).
+const IDLE_TIMEOUTS: u32 = 20;
+
+/// Sizing and resilience knobs for [`NetServer::bind`].
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Worker threads, each owning one live connection at a time — the
+    /// hard cap on concurrent sessions. Env: `QPP_NET_MAX_CONNS`.
+    pub max_connections: usize,
+    /// Accepted connections that may wait for a free worker before new
+    /// arrivals are refused with a typed `Overloaded` frame.
+    /// Env: `QPP_NET_BACKLOG`.
+    pub accept_backlog: usize,
+    /// Longest a peer may take to finish a frame it started (and the
+    /// slowloris eviction budget). Env: `QPP_NET_READ_TIMEOUT_MS`.
+    pub read_timeout: Duration,
+    /// Socket write timeout for replies; a peer that won't drain its
+    /// receive buffer loses the connection.
+    /// Env: `QPP_NET_WRITE_TIMEOUT_MS`.
+    pub write_timeout: Duration,
+    /// Hard cap on a frame's payload length; oversized frames are
+    /// rejected before any allocation.
+    pub max_frame: usize,
+    /// Budget for [`NetServer::shutdown`] to drain in-flight requests
+    /// before abandoning their replies (counted `aborted`).
+    pub drain: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            max_connections: 8,
+            accept_backlog: 32,
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            max_frame: DEFAULT_MAX_FRAME,
+            drain: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Parses a positive-count knob: `Ok(None)` when unset, `Ok(Some(n))`
+/// for a valid count ≥ 1, `Err(reason)` otherwise (zero included — a
+/// pool of zero workers or a backlog of zero slots cannot serve).
+/// Pure so it is unit-testable without touching process environment.
+pub(crate) fn parse_count_knob(name: &str, raw: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = raw else {
+        return Ok(None);
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(Some(n)),
+        Ok(_) => Err(format!("{name}={raw:?} is zero; the front door needs at least one")),
+        Err(_) => Err(format!("{name}={raw:?} is not a positive integer")),
+    }
+}
+
+/// Parses a millisecond-duration knob with the same contract as
+/// [`parse_count_knob`]: ≥ 1 ms, or the knob is rejected with a reason.
+pub(crate) fn parse_millis_knob(name: &str, raw: Option<&str>) -> Result<Option<Duration>, String> {
+    let Some(raw) = raw else {
+        return Ok(None);
+    };
+    match raw.trim().parse::<u64>() {
+        Ok(ms) if ms >= 1 => Ok(Some(Duration::from_millis(ms))),
+        Ok(_) => Err(format!("{name}={raw:?} is zero; a zero timeout evicts every peer instantly")),
+        Err(_) => Err(format!("{name}={raw:?} is not a positive integer (milliseconds)")),
+    }
+}
+
+/// Warns exactly once per knob name per process, so a misconfigured
+/// environment does not spam every `from_env` call.
+fn warn_once(name: &'static str, reason: &str, fallback: &str) {
+    static WARNED: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let warned = WARNED.get_or_init(|| Mutex::new(HashSet::new()));
+    if warned.lock().unwrap().insert(name) {
+        eprintln!("warning: ignoring invalid {reason}; using the documented default ({fallback})");
+    }
+}
+
+impl NetConfig {
+    /// The default configuration with any `QPP_NET_*` environment knobs
+    /// applied. Invalid values warn once (naming the knob and the reason)
+    /// and fall back to the documented default — never a crash, never a
+    /// silent surprise.
+    pub fn from_env() -> NetConfig {
+        let mut cfg = NetConfig::default();
+        match parse_count_knob("QPP_NET_MAX_CONNS", std::env::var("QPP_NET_MAX_CONNS").ok().as_deref()) {
+            Ok(Some(n)) => cfg.max_connections = n,
+            Ok(None) => {}
+            Err(reason) => warn_once("QPP_NET_MAX_CONNS", &reason, "8 connections"),
+        }
+        match parse_count_knob("QPP_NET_BACKLOG", std::env::var("QPP_NET_BACKLOG").ok().as_deref()) {
+            Ok(Some(n)) => cfg.accept_backlog = n,
+            Ok(None) => {}
+            Err(reason) => warn_once("QPP_NET_BACKLOG", &reason, "32 pending connections"),
+        }
+        match parse_millis_knob(
+            "QPP_NET_READ_TIMEOUT_MS",
+            std::env::var("QPP_NET_READ_TIMEOUT_MS").ok().as_deref(),
+        ) {
+            Ok(Some(d)) => cfg.read_timeout = d,
+            Ok(None) => {}
+            Err(reason) => warn_once("QPP_NET_READ_TIMEOUT_MS", &reason, "2000 ms"),
+        }
+        match parse_millis_knob(
+            "QPP_NET_WRITE_TIMEOUT_MS",
+            std::env::var("QPP_NET_WRITE_TIMEOUT_MS").ok().as_deref(),
+        ) {
+            Ok(Some(d)) => cfg.write_timeout = d,
+            Ok(None) => {}
+            Err(reason) => warn_once("QPP_NET_WRITE_TIMEOUT_MS", &reason, "2000 ms"),
+        }
+        cfg
+    }
+}
+
+/// How a request left the front door. Exactly one per accepted request —
+/// the invariant the shutdown reconciliation pins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Disposition {
+    /// A prediction was produced *and delivered*.
+    Served,
+    /// Refused at admission with `Overloaded`/`TenantOverloaded`.
+    Shed,
+    /// The request's deadline expired before any tier could answer.
+    Missed,
+    /// Everything else: failed requests (unknown tenant, model errors),
+    /// replies the peer never read, drain-deadline abandonments.
+    Aborted,
+}
+
+fn classify(error: &QppError) -> Disposition {
+    match error {
+        QppError::Overloaded { .. } | QppError::TenantOverloaded { .. } => Disposition::Shed,
+        QppError::DeadlineExceeded { .. } => Disposition::Missed,
+        _ => Disposition::Aborted,
+    }
+}
+
+#[derive(Default)]
+struct NetCounters {
+    conns_accepted: AtomicU64,
+    conns_refused: AtomicU64,
+    conns_evicted: AtomicU64,
+    session_panics: AtomicU64,
+    malformed_frames: AtomicU64,
+    accepted: AtomicU64,
+    served: AtomicU64,
+    shed: AtomicU64,
+    missed: AtomicU64,
+    aborted: AtomicU64,
+}
+
+/// Point-in-time copy of the front door's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetStatsSnapshot {
+    /// Connections the listener accepted.
+    pub conns_accepted: u64,
+    /// Connections refused because the backlog was full (each got a
+    /// best-effort `Overloaded` error frame) or arrived during shutdown.
+    pub conns_refused: u64,
+    /// Connections dropped for stalling mid-frame past the read timeout
+    /// (slowloris) or idling far past it between frames.
+    pub conns_evicted: u64,
+    /// Session panics caught by the worker supervisor; the worker thread
+    /// survived every one of these.
+    pub session_panics: u64,
+    /// Frames that failed header validation or payload decoding; never
+    /// counted as accepted requests.
+    pub malformed_frames: u64,
+    /// Well-formed requests handed to the tenant server.
+    pub accepted: u64,
+    /// Requests answered with a prediction that reached the peer.
+    pub served: u64,
+    /// Requests refused at admission (global or tenant bulkhead).
+    pub shed: u64,
+    /// Requests whose deadline expired before any tier answered.
+    pub missed: u64,
+    /// Requests that failed for any other reason or whose reply could
+    /// not be delivered (including drain-deadline abandonment).
+    pub aborted: u64,
+}
+
+impl NetStatsSnapshot {
+    /// The exact drain invariant: every accepted request took exactly one
+    /// of the four exits.
+    pub fn reconciles(&self) -> bool {
+        self.accepted == self.served + self.shed + self.missed + self.aborted
+    }
+}
+
+impl NetCounters {
+    fn bump(&self, c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record(&self, disposition: Disposition) {
+        match disposition {
+            Disposition::Served => self.bump(&self.served),
+            Disposition::Shed => self.bump(&self.shed),
+            Disposition::Missed => self.bump(&self.missed),
+            Disposition::Aborted => self.bump(&self.aborted),
+        }
+    }
+
+    fn snapshot(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            conns_accepted: self.conns_accepted.load(Ordering::Relaxed),
+            conns_refused: self.conns_refused.load(Ordering::Relaxed),
+            conns_evicted: self.conns_evicted.load(Ordering::Relaxed),
+            session_panics: self.session_panics.load(Ordering::Relaxed),
+            malformed_frames: self.malformed_frames.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            missed: self.missed.load(Ordering::Relaxed),
+            aborted: self.aborted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct NetInner {
+    server: Arc<TenantServer>,
+    config: NetConfig,
+    counters: NetCounters,
+    pending: BoundedQueue<TcpStream>,
+    shutdown: AtomicBool,
+    drain_deadline: Mutex<Option<Instant>>,
+}
+
+/// A TCP front door over a [`TenantServer`], speaking `QPPWIRE-v1`.
+///
+/// Bind with [`NetServer::bind`], connect with [`Client`], stop with
+/// [`NetServer::shutdown`] (or drop, which drains with the same
+/// guarantees and discards the report).
+pub struct NetServer {
+    inner: Arc<NetInner>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 to let the OS pick) and starts the
+    /// acceptor and worker threads over `server`.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        server: Arc<TenantServer>,
+        config: NetConfig,
+    ) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let worker_count = config.max_connections.max(1);
+        let inner = Arc::new(NetInner {
+            server,
+            pending: BoundedQueue::new(config.accept_backlog.max(1)),
+            config,
+            counters: NetCounters::default(),
+            shutdown: AtomicBool::new(false),
+            drain_deadline: Mutex::new(None),
+        });
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("qpp-net-acceptor".into())
+                .spawn(move || acceptor_loop(&listener, &inner))
+                .expect("spawning the acceptor thread")
+        };
+        let workers = (0..worker_count)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("qpp-net-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawning a connection worker")
+            })
+            .collect();
+        Ok(NetServer {
+            inner,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Live counters; for the exactly-reconciled ledger, use the snapshot
+    /// [`NetServer::shutdown`] returns.
+    pub fn stats(&self) -> NetStatsSnapshot {
+        self.inner.counters.snapshot()
+    }
+
+    /// Graceful drain, idempotent: stop accepting, let every in-flight
+    /// request finish (bounded by [`NetConfig::drain`] once the flag is
+    /// up), join the acceptor and all workers, and return the final
+    /// counters — which reconcile exactly:
+    /// `accepted == served + shed + missed + aborted`.
+    ///
+    /// The [`TenantServer`] underneath is *not* shut down: it belongs to
+    /// the caller (a healer or another front door may still be using it).
+    pub fn shutdown(&mut self) -> NetStatsSnapshot {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        {
+            let mut deadline = self.inner.drain_deadline.lock().unwrap();
+            if deadline.is_none() {
+                *deadline = Some(Instant::now() + self.inner.config.drain);
+            }
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            if let Err(p) = acceptor.join() {
+                std::panic::resume_unwind(p);
+            }
+        }
+        // Close after the acceptor stopped so no accepted socket is
+        // pushed into a closed queue and silently dropped; workers drain
+        // what is already queued (those sessions see the shutdown flag
+        // and close without reading).
+        self.inner.pending.close();
+        for worker in self.workers.drain(..) {
+            if let Err(p) = worker.join() {
+                std::panic::resume_unwind(p);
+            }
+        }
+        self.inner.counters.snapshot()
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, inner: &NetInner) {
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                inner.counters.bump(&inner.counters.conns_accepted);
+                match inner.pending.try_push(stream) {
+                    Ok(_) => {}
+                    Err(PushError::Full(stream, _)) => {
+                        inner.counters.bump(&inner.counters.conns_refused);
+                        refuse_connection(stream, inner);
+                    }
+                    Err(PushError::Closed(_)) => {
+                        inner.counters.bump(&inner.counters.conns_refused);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_TICK),
+            Err(_) => std::thread::sleep(ACCEPT_TICK),
+        }
+    }
+}
+
+/// Best-effort typed refusal for a connection the backlog cannot hold:
+/// the peer learns it was overload, not a protocol error.
+fn refuse_connection(mut stream: TcpStream, inner: &NetInner) {
+    let _ = stream.set_write_timeout(Some(inner.config.write_timeout));
+    let frame = Frame::Error(ErrorFrame {
+        id: 0,
+        error: QppError::Overloaded {
+            queue_depth: inner.pending.capacity(),
+        },
+    });
+    let _ = stream.write_all(&frame.encode());
+}
+
+fn worker_loop(inner: &NetInner) {
+    while let Some(stream) = inner.pending.pop_blocking() {
+        // One catch_unwind per session: a panic kills the connection,
+        // never the worker — "no worker thread dies" is load-bearing for
+        // the fixed-size pool.
+        if catch_unwind(AssertUnwindSafe(|| handle_session(stream, inner))).is_err() {
+            inner.counters.bump(&inner.counters.session_panics);
+        }
+    }
+}
+
+/// What one attempt to read a frame from the peer produced.
+enum ReadEvent {
+    /// A complete frame (header + payload), ready to decode.
+    Frame(Vec<u8>),
+    /// Shutdown observed while idle between frames: close cleanly.
+    ShutdownIdle,
+    /// The peer closed cleanly between frames.
+    Eof,
+    /// Mid-frame stall or excessive idling: evict the peer.
+    Evicted,
+    /// The header failed validation; the stream can no longer be framed.
+    Corrupt,
+    /// Read error or mid-frame disconnect.
+    Broken,
+}
+
+fn read_frame(stream: &mut TcpStream, inner: &NetInner) -> ReadEvent {
+    let mut buf: Vec<u8> = Vec::with_capacity(HEADER_LEN);
+    let mut payload_len: Option<usize> = None;
+    let mut frame_started: Option<Instant> = None;
+    let idle_started = Instant::now();
+    let idle_budget = inner.config.read_timeout * IDLE_TIMEOUTS;
+    let mut scratch = [0u8; 4096];
+    loop {
+        let target = HEADER_LEN + payload_len.unwrap_or(0);
+        if buf.len() >= target {
+            if payload_len.is_none() {
+                match decode_header(&buf, inner.config.max_frame) {
+                    Ok((_kind, len)) => {
+                        payload_len = Some(len);
+                        continue;
+                    }
+                    Err(_) => return ReadEvent::Corrupt,
+                }
+            }
+            return ReadEvent::Frame(buf);
+        }
+        if buf.is_empty() {
+            if inner.shutdown.load(Ordering::SeqCst) {
+                return ReadEvent::ShutdownIdle;
+            }
+            if idle_started.elapsed() > idle_budget {
+                return ReadEvent::Evicted;
+            }
+        } else if let Some(t0) = frame_started {
+            if t0.elapsed() > inner.config.read_timeout {
+                return ReadEvent::Evicted;
+            }
+        }
+        let want = (target - buf.len()).min(scratch.len());
+        match stream.read(&mut scratch[..want]) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    ReadEvent::Eof
+                } else {
+                    ReadEvent::Broken
+                };
+            }
+            Ok(n) => {
+                if frame_started.is_none() {
+                    frame_started = Some(Instant::now());
+                }
+                buf.extend_from_slice(&scratch[..n]);
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                // Read-timeout tick: loop back to re-check the frame
+                // deadline, the idle budget, and the shutdown flag.
+            }
+            Err(_) => return ReadEvent::Broken,
+        }
+    }
+}
+
+fn handle_session(mut stream: TcpStream, inner: &NetInner) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    let _ = stream.set_write_timeout(Some(inner.config.write_timeout));
+    loop {
+        match read_frame(&mut stream, inner) {
+            ReadEvent::Frame(bytes) => {
+                let (reply, disposition) = match Frame::decode(&bytes, inner.config.max_frame) {
+                    Ok(Frame::Request(request)) => {
+                        inner.counters.bump(&inner.counters.accepted);
+                        serve_request(request, inner)
+                    }
+                    // The envelope was valid (the header passed), so the
+                    // stream is still in sync: answer with a typed error
+                    // and keep the connection. Never an accepted request.
+                    Ok(_) | Err(_) => {
+                        inner.counters.bump(&inner.counters.malformed_frames);
+                        (malformed_reply(), None)
+                    }
+                };
+                let delivered = stream.write_all(&reply.encode()).is_ok();
+                if let Some(disposition) = disposition {
+                    // A produced prediction the peer never received is an
+                    // abort, not a serve — delivery is part of "served".
+                    let actual = match (disposition, delivered) {
+                        (Disposition::Served, false) => Disposition::Aborted,
+                        (d, _) => d,
+                    };
+                    inner.counters.record(actual);
+                }
+                if !delivered {
+                    return;
+                }
+            }
+            ReadEvent::ShutdownIdle | ReadEvent::Eof => return,
+            ReadEvent::Evicted => {
+                inner.counters.bump(&inner.counters.conns_evicted);
+                return;
+            }
+            ReadEvent::Corrupt => {
+                inner.counters.bump(&inner.counters.malformed_frames);
+                // Best-effort diagnosis, then close: after a bad header
+                // the byte stream cannot be re-framed.
+                let _ = stream.write_all(&malformed_reply().encode());
+                return;
+            }
+            ReadEvent::Broken => return,
+        }
+    }
+}
+
+fn malformed_reply() -> Frame {
+    Frame::Error(ErrorFrame {
+        id: 0,
+        error: QppError::Internal("malformed request frame"),
+    })
+}
+
+/// Runs one request through the tenant server and produces the reply
+/// frame plus its (pre-delivery) disposition.
+fn serve_request(request: Request, inner: &NetInner) -> (Frame, Option<Disposition>) {
+    let id = request.id;
+    let deadline = request.deadline_micros.map(Duration::from_micros);
+    let submitted = inner.server.submit(
+        &request.tenant,
+        Arc::new(request.query),
+        request.method,
+        deadline,
+    );
+    let result = match submitted {
+        Ok(pending) => {
+            if inner.shutdown.load(Ordering::SeqCst) {
+                // Draining: bound the wait by what is left of the budget.
+                let remaining = inner
+                    .drain_deadline
+                    .lock()
+                    .unwrap()
+                    .map(|d| d.saturating_duration_since(Instant::now()))
+                    .unwrap_or(inner.config.drain)
+                    .max(Duration::from_millis(1));
+                pending.wait_timeout(remaining)
+            } else {
+                pending.wait()
+            }
+        }
+        Err(e) => Err(e),
+    };
+    match result {
+        Ok(prediction) => (
+            Frame::Response(Response { id, prediction }),
+            Some(Disposition::Served),
+        ),
+        Err(error) => {
+            let disposition = classify(&error);
+            (
+                Frame::Error(ErrorFrame { id, error }),
+                Some(disposition),
+            )
+        }
+    }
+}
+
+/// A minimal blocking `QPPWIRE-v1` client for tests, benches, and the
+/// README example: one request in flight at a time.
+pub struct Client {
+    stream: TcpStream,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connects to a [`NetServer`].
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Sends one frame and blocks for the peer's single reply frame.
+    pub fn call(&mut self, frame: &Frame) -> io::Result<Frame> {
+        self.stream.write_all(&frame.encode())?;
+        let bytes = read_reply(&mut self.stream, self.max_frame)?;
+        Frame::decode(&bytes, self.max_frame)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Sends a prediction request; the outer `Result` is transport, the
+    /// inner one is the server's typed answer.
+    pub fn request(&mut self, request: Request) -> io::Result<Result<Prediction, QppError>> {
+        match self.call(&Frame::Request(request))? {
+            Frame::Response(r) => Ok(Ok(r.prediction)),
+            Frame::Error(e) => Ok(Err(e.error)),
+            Frame::Request(_) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "peer sent a request frame as a reply",
+            )),
+        }
+    }
+
+    /// The underlying stream — the chaos tests drive partial writes and
+    /// mid-frame disconnects through it.
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+}
+
+/// Blocking exact read of one frame (header, then payload) on a stream
+/// with no read timeout set.
+fn read_reply(stream: &mut TcpStream, max_frame: usize) -> io::Result<Vec<u8>> {
+    let mut buf = vec![0u8; HEADER_LEN];
+    stream.read_exact(&mut buf)?;
+    let (_kind, len) = decode_header(&buf, max_frame)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    buf.extend_from_slice(&payload);
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_knob_parses_valid_rejects_zero_and_junk() {
+        assert_eq!(parse_count_knob("QPP_NET_BACKLOG", None), Ok(None));
+        assert_eq!(parse_count_knob("QPP_NET_BACKLOG", Some("16")), Ok(Some(16)));
+        assert_eq!(parse_count_knob("QPP_NET_BACKLOG", Some(" 4 ")), Ok(Some(4)));
+        assert!(parse_count_knob("QPP_NET_BACKLOG", Some("0"))
+            .unwrap_err()
+            .contains("zero"));
+        for bad in ["", "many", "-3", "2.5"] {
+            let err = parse_count_knob("QPP_NET_MAX_CONNS", Some(bad)).unwrap_err();
+            assert!(
+                err.contains("QPP_NET_MAX_CONNS") && err.contains("positive integer"),
+                "{bad:?} -> {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn millis_knob_parses_valid_rejects_zero_and_junk() {
+        assert_eq!(parse_millis_knob("QPP_NET_READ_TIMEOUT_MS", None), Ok(None));
+        assert_eq!(
+            parse_millis_knob("QPP_NET_READ_TIMEOUT_MS", Some("250")),
+            Ok(Some(Duration::from_millis(250)))
+        );
+        assert!(parse_millis_knob("QPP_NET_READ_TIMEOUT_MS", Some("0"))
+            .unwrap_err()
+            .contains("zero"));
+        assert!(parse_millis_knob("QPP_NET_WRITE_TIMEOUT_MS", Some("fast"))
+            .unwrap_err()
+            .contains("QPP_NET_WRITE_TIMEOUT_MS"));
+    }
+
+    #[test]
+    fn dispositions_classify_and_reconcile() {
+        assert_eq!(
+            classify(&QppError::Overloaded { queue_depth: 9 }),
+            Disposition::Shed
+        );
+        assert_eq!(
+            classify(&QppError::TenantOverloaded {
+                tenant: "t".into()
+            }),
+            Disposition::Shed
+        );
+        assert_eq!(
+            classify(&QppError::DeadlineExceeded { budget_secs: 0.1 }),
+            Disposition::Missed
+        );
+        assert_eq!(
+            classify(&QppError::Internal("unknown tenant")),
+            Disposition::Aborted
+        );
+        let counters = NetCounters::default();
+        counters.bump(&counters.accepted);
+        counters.bump(&counters.accepted);
+        counters.record(Disposition::Served);
+        counters.record(Disposition::Missed);
+        let snap = counters.snapshot();
+        assert!(snap.reconciles());
+        counters.bump(&counters.accepted);
+        assert!(!counters.snapshot().reconciles(), "an open request shows");
+    }
+}

@@ -103,6 +103,22 @@ impl PendingPrediction {
             .recv()
             .unwrap_or(Err(QppError::Internal("serving worker dropped the reply")))
     }
+
+    /// Blocks until the request is answered or `timeout` elapses. Used by
+    /// the networked front door's drain: a reply that does not arrive
+    /// within the drain budget is abandoned (the worker may still serve
+    /// it, but no one is listening).
+    pub fn wait_timeout(self, timeout: std::time::Duration) -> Result<Prediction, QppError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => result,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                Err(QppError::Internal("request aborted at shutdown"))
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                Err(QppError::Internal("serving worker dropped the reply"))
+            }
+        }
+    }
 }
 
 /// A concurrent, overload-resilient prediction service over a hot-swap

@@ -10,6 +10,7 @@ use qpp::{tier_rank, Method, PredictionTier, SloRecorder};
 use std::sync::Mutex;
 
 use crate::admission::ShedReason;
+use crate::tenant::HealAction;
 
 /// The serving endpoint a request belongs to, derived from its requested
 /// [`Method`] (all hybrid orderings share one endpoint).
@@ -60,6 +61,7 @@ struct Inner {
     submitted: u64,
     shed_rate_limited: u64,
     shed_queue_full: u64,
+    shed_shutdown: u64,
     served: u64,
     deadline_missed: u64,
     degraded: u64,
@@ -68,6 +70,12 @@ struct Inner {
     batched_jobs: u64,
     largest_batch: u64,
     stalls_injected: u64,
+    heal_rounds: u64,
+    heal_promoted: u64,
+    heal_kept_incumbent: u64,
+    heal_rolled_back: u64,
+    heal_panics: u64,
+    heal_backoff_skips: u64,
     latency: [SloRecorder; 3],
 }
 
@@ -91,6 +99,7 @@ impl ServeStats {
                 submitted: 0,
                 shed_rate_limited: 0,
                 shed_queue_full: 0,
+                shed_shutdown: 0,
                 served: 0,
                 deadline_missed: 0,
                 degraded: 0,
@@ -99,6 +108,12 @@ impl ServeStats {
                 batched_jobs: 0,
                 largest_batch: 0,
                 stalls_injected: 0,
+                heal_rounds: 0,
+                heal_promoted: 0,
+                heal_kept_incumbent: 0,
+                heal_rolled_back: 0,
+                heal_panics: 0,
+                heal_backoff_skips: 0,
                 latency: [SloRecorder::new(), SloRecorder::new(), SloRecorder::new()],
             }),
         }
@@ -115,7 +130,30 @@ impl ServeStats {
         match reason {
             ShedReason::RateLimited => inner.shed_rate_limited += 1,
             ShedReason::QueueFull => inner.shed_queue_full += 1,
+            ShedReason::Shutdown => inner.shed_shutdown += 1,
         }
+    }
+
+    /// One healing round completed for this tenant with the given action.
+    pub fn record_heal(&self, action: &HealAction) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.heal_rounds += 1;
+        match action {
+            HealAction::NotNeeded => {}
+            HealAction::Promoted => inner.heal_promoted += 1,
+            HealAction::KeptIncumbent => inner.heal_kept_incumbent += 1,
+            HealAction::RolledBack => inner.heal_rolled_back += 1,
+        }
+    }
+
+    /// A healing round panicked and was caught by the supervisor.
+    pub fn record_heal_panic(&self) {
+        self.inner.lock().unwrap().heal_panics += 1;
+    }
+
+    /// The healer's breaker skipped a round while backing off.
+    pub fn record_heal_backoff_skip(&self) {
+        self.inner.lock().unwrap().heal_backoff_skips += 1;
     }
 
     /// A worker coalesced `n` requests into one batch.
@@ -171,6 +209,7 @@ impl ServeStats {
             submitted: inner.submitted,
             shed_rate_limited: inner.shed_rate_limited,
             shed_queue_full: inner.shed_queue_full,
+            shed_shutdown: inner.shed_shutdown,
             served: inner.served,
             deadline_missed: inner.deadline_missed,
             degraded: inner.degraded,
@@ -179,6 +218,12 @@ impl ServeStats {
             batched_jobs: inner.batched_jobs,
             largest_batch: inner.largest_batch,
             stalls_injected: inner.stalls_injected,
+            heal_rounds: inner.heal_rounds,
+            heal_promoted: inner.heal_promoted,
+            heal_kept_incumbent: inner.heal_kept_incumbent,
+            heal_rolled_back: inner.heal_rolled_back,
+            heal_panics: inner.heal_panics,
+            heal_backoff_skips: inner.heal_backoff_skips,
             latency,
         }
     }
@@ -210,6 +255,9 @@ pub struct ServeStatsSnapshot {
     pub shed_rate_limited: u64,
     /// Requests shed by queue-depth load shedding.
     pub shed_queue_full: u64,
+    /// Requests refused because the server was shutting down or the
+    /// tenant was removed after the request was counted `submitted`.
+    pub shed_shutdown: u64,
     /// Requests answered with a prediction.
     pub served: u64,
     /// Requests refused because their deadline expired.
@@ -227,14 +275,26 @@ pub struct ServeStatsSnapshot {
     pub largest_batch: u64,
     /// Injected worker stalls that fired.
     pub stalls_injected: u64,
+    /// Healing rounds completed (any [`HealAction`]).
+    pub heal_rounds: u64,
+    /// Healing rounds that promoted and validated a retrained candidate.
+    pub heal_promoted: u64,
+    /// Healing rounds where the incumbent beat the candidate.
+    pub heal_kept_incumbent: u64,
+    /// Healing rounds whose promotion regressed and was rolled back.
+    pub heal_rolled_back: u64,
+    /// Healing rounds that panicked and were caught by the supervisor.
+    pub heal_panics: u64,
+    /// Healer rounds skipped while the supervision breaker backed off.
+    pub heal_backoff_skips: u64,
     /// Per-endpoint latency summaries (indexed by [`Endpoint::index`]).
     pub latency: [SloSummary; 3],
 }
 
 impl ServeStatsSnapshot {
-    /// Total shed requests, both causes.
+    /// Total shed requests, all causes.
     pub fn shed(&self) -> u64 {
-        self.shed_rate_limited + self.shed_queue_full
+        self.shed_rate_limited + self.shed_queue_full + self.shed_shutdown
     }
 
     /// Requests admitted past the front door.

@@ -20,6 +20,13 @@
 //!   service capacity divides by weight no matter how asymmetric the
 //!   arrival streams are. A global capacity bounds total memory on top of
 //!   the per-tenant quotas.
+//! - **Dynamic tenancy.** Tenants can be added and removed while the
+//!   server is under load: [`TenantServer::add_tenant`] opens a new lane
+//!   that joins at the current virtual time (no banked credit), and
+//!   [`TenantServer::remove_tenant`] closes the lane, serves what was
+//!   already queued in it, and hands back the tenant's registry and a
+//!   final stats snapshot. Shard slots are tombstoned, never deleted, so
+//!   a worker holding a popped batch can always resolve its shard.
 //! - **Closed loop.** Each tenant's SLO counters fold into its
 //!   [`DriftMonitor`] as a second escalation signal
 //!   ([`TenantServer::slo_tick`]): sustained degraded/missed/shed traffic
@@ -27,6 +34,16 @@
 //!   [`TenantServer::heal`] runs quarantine → shadow retrain → promote on
 //!   *that tenant's* registry only, with post-promotion validation and
 //!   rollback when the promoted model regresses on fresh traffic.
+//!   [`crate::healer::Healer`] drives this loop unattended.
+//!
+//! **Accounting order.** Every path records `submitted` strictly before
+//! any `shed`/`served`/`deadline_missed` outcome for the same request, so
+//! a concurrent snapshot can transiently see an outcome *missing* but
+//! never an outcome *without its submission* — `submitted < shed + served
+//! + deadline_missed` is unobservable. [`TenantServer::shutdown`] takes
+//! the final reconciliation read while holding the queue lock (after the
+//! workers have been joined), at which point the ledgers balance exactly:
+//! `accepted == served + deadline_missed`.
 
 use engine::faults::ServeFaultPlan;
 use qpp::{
@@ -35,7 +52,7 @@ use qpp::{
 };
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -53,26 +70,42 @@ pub enum TenantPushError<T> {
     /// The queue's *global* capacity is exhausted; the item is handed back
     /// with the total depth at rejection.
     GlobalFull(T, usize),
+    /// The tenant's lane was removed ([`WeightedFairQueue::remove_tenant`]);
+    /// the item is handed back. Other lanes keep serving.
+    Removed(T),
     /// The queue was closed for shutdown; the item is handed back.
     Closed(T),
 }
 
+/// One tenant's lane plus its scheduling state. Weight and quota live
+/// inside the queue lock so lanes can be added and removed while
+/// producers and consumers are active.
+struct Lane<T> {
+    items: VecDeque<T>,
+    /// Virtual finish time: advanced by `items / weight` on every
+    /// dequeue, so the backlogged lane with the smallest vtime is always
+    /// the one furthest below its fair share.
+    vtime: f64,
+    weight: f64,
+    quota: usize,
+    /// False after [`WeightedFairQueue::remove_tenant`]: pushes are
+    /// refused with [`TenantPushError::Removed`] and the (already empty)
+    /// lane is never selected again.
+    open: bool,
+}
+
 struct WfqInner<T> {
-    /// One FIFO lane per tenant.
-    lanes: Vec<VecDeque<T>>,
-    /// Per-tenant virtual finish time: advanced by `items / weight` on
-    /// every dequeue, so the backlogged lane with the smallest vtime is
-    /// always the one furthest below its fair share.
-    vtime: Vec<f64>,
+    lanes: Vec<Lane<T>>,
     /// Global virtual time: the vtime of the most recent dequeue. A lane
-    /// going from empty to non-empty is lifted to at least this value, so
-    /// idle tenants cannot bank credit while away.
+    /// going from empty to non-empty (or a lane just added) is lifted to
+    /// at least this value, so idle tenants cannot bank credit while away.
     global_v: f64,
     total: usize,
     closed: bool,
 }
 
-/// A bounded multi-lane MPMC queue with weighted-fair dequeue.
+/// A bounded multi-lane MPMC queue with weighted-fair dequeue and a
+/// dynamic lane set.
 ///
 /// Producers push into their tenant's lane and are rejected synchronously
 /// when either the tenant's quota or the global capacity is exhausted —
@@ -83,11 +116,13 @@ struct WfqInner<T> {
 /// proportional to weight for continuously backlogged lanes (the classic
 /// virtual-time WFQ argument; the proptests in `tenant_props.rs` pin the
 /// `batch / min_weight` fairness bound exactly).
+///
+/// Lanes can be added ([`WeightedFairQueue::add_tenant`]) and removed
+/// ([`WeightedFairQueue::remove_tenant`]) concurrently with pushes and
+/// pops; lane indices are never reused, a removed lane is tombstoned.
 pub struct WeightedFairQueue<T> {
     inner: Mutex<WfqInner<T>>,
     not_empty: Condvar,
-    weights: Vec<f64>,
-    quotas: Vec<usize>,
     global_capacity: usize,
 }
 
@@ -97,37 +132,49 @@ impl<T> WeightedFairQueue<T> {
         WeightedFairQueue {
             inner: Mutex::new(WfqInner {
                 lanes: Vec::new(),
-                vtime: Vec::new(),
                 global_v: 0.0,
                 total: 0,
                 closed: false,
             }),
             not_empty: Condvar::new(),
-            weights: Vec::new(),
-            quotas: Vec::new(),
             global_capacity: global_capacity.max(1),
         }
     }
 
     /// Adds a lane with the given fair-share weight and queue-depth quota
-    /// and returns its tenant index. Lanes are fixed before the queue is
-    /// shared (`&mut self`), so the hot path never locks to look up
-    /// weights.
-    pub fn add_tenant(&mut self, weight: f64, quota: usize) -> usize {
-        {
-            let inner = self.inner.get_mut().unwrap();
-            inner.lanes.push(VecDeque::new());
-            inner.vtime.push(0.0);
-        }
-        self.weights
-            .push(if weight.is_finite() { weight.max(1e-6) } else { 1.0 });
-        self.quotas.push(quota.max(1));
-        self.weights.len() - 1
+    /// and returns its tenant index. The lane joins at the current global
+    /// virtual time, so it competes fairly from now on but starts with no
+    /// banked credit. Safe to call while producers and consumers run.
+    pub fn add_tenant(&self, weight: f64, quota: usize) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        let vtime = inner.global_v;
+        inner.lanes.push(Lane {
+            items: VecDeque::new(),
+            vtime,
+            weight: if weight.is_finite() { weight.max(1e-6) } else { 1.0 },
+            quota: quota.max(1),
+            open: true,
+        });
+        inner.lanes.len() - 1
     }
 
-    /// Number of lanes.
+    /// Tombstones a lane: subsequent pushes are refused with
+    /// [`TenantPushError::Removed`] and everything queued is handed back
+    /// to the caller in FIFO order (the caller decides whether to serve
+    /// or refuse the drained items). The index is never reused; other
+    /// lanes are untouched.
+    pub fn remove_tenant(&self, tenant: usize) -> Vec<T> {
+        let mut inner = self.inner.lock().unwrap();
+        let lane = &mut inner.lanes[tenant];
+        lane.open = false;
+        let drained: Vec<T> = lane.items.drain(..).collect();
+        inner.total -= drained.len();
+        drained
+    }
+
+    /// Number of lanes ever added, including tombstoned ones.
     pub fn tenants(&self) -> usize {
-        self.weights.len()
+        self.inner.lock().unwrap().lanes.len()
     }
 
     /// Total queued items across all lanes.
@@ -142,19 +189,23 @@ impl<T> WeightedFairQueue<T> {
 
     /// Queued items in one tenant's lane.
     pub fn tenant_len(&self, tenant: usize) -> usize {
-        self.inner.lock().unwrap().lanes[tenant].len()
+        self.inner.lock().unwrap().lanes[tenant].items.len()
     }
 
     /// Non-blocking push into `tenant`'s lane: enqueues and returns the
-    /// lane depth after the push, or rejects (tenant quota first — the
-    /// bulkhead — then global capacity, then shutdown) without waiting.
+    /// lane depth after the push, or rejects (shutdown and tombstone
+    /// first, then the tenant quota — the bulkhead — then global
+    /// capacity) without waiting.
     pub fn try_push(&self, tenant: usize, item: T) -> Result<usize, TenantPushError<T>> {
         let mut inner = self.inner.lock().unwrap();
         if inner.closed {
             return Err(TenantPushError::Closed(item));
         }
-        let depth = inner.lanes[tenant].len();
-        if depth >= self.quotas[tenant] {
+        if !inner.lanes[tenant].open {
+            return Err(TenantPushError::Removed(item));
+        }
+        let depth = inner.lanes[tenant].items.len();
+        if depth >= inner.lanes[tenant].quota {
             return Err(TenantPushError::TenantFull(item, depth));
         }
         if inner.total >= self.global_capacity {
@@ -165,11 +216,13 @@ impl<T> WeightedFairQueue<T> {
             // A lane waking from idle joins at the current virtual time:
             // it competes fairly from now on but gets no credit for the
             // time it spent away.
-            inner.vtime[tenant] = inner.vtime[tenant].max(inner.global_v);
+            let global_v = inner.global_v;
+            let lane = &mut inner.lanes[tenant];
+            lane.vtime = lane.vtime.max(global_v);
         }
-        inner.lanes[tenant].push_back(item);
+        inner.lanes[tenant].items.push_back(item);
         inner.total += 1;
-        let depth = inner.lanes[tenant].len();
+        let depth = inner.lanes[tenant].items.len();
         drop(inner);
         self.not_empty.notify_one();
         Ok(depth)
@@ -184,7 +237,7 @@ impl<T> WeightedFairQueue<T> {
         let mut inner = self.inner.lock().unwrap();
         loop {
             if inner.total > 0 {
-                return Some(self.take_batch(&mut inner, max_batch));
+                return Some(Self::take_batch(&mut inner, max_batch));
             }
             if inner.closed {
                 return None;
@@ -202,23 +255,38 @@ impl<T> WeightedFairQueue<T> {
         if inner.total == 0 {
             return None;
         }
-        Some(self.take_batch(&mut inner, max_batch))
+        Some(Self::take_batch(&mut inner, max_batch))
     }
 
-    fn take_batch(&self, inner: &mut WfqInner<T>, max_batch: usize) -> (usize, Vec<T>) {
+    fn take_batch(inner: &mut WfqInner<T>, max_batch: usize) -> (usize, Vec<T>) {
         debug_assert!(inner.total > 0);
         // Backlogged lane with the smallest vtime; ties go to the lowest
-        // index so the selection is deterministic.
+        // index so the selection is deterministic. Tombstoned lanes are
+        // drained at removal, so the emptiness filter skips them too.
         let tenant = (0..inner.lanes.len())
-            .filter(|&t| !inner.lanes[t].is_empty())
-            .min_by(|&a, &b| inner.vtime[a].partial_cmp(&inner.vtime[b]).unwrap())
+            .filter(|&t| !inner.lanes[t].items.is_empty())
+            .min_by(|&a, &b| {
+                inner.lanes[a]
+                    .vtime
+                    .partial_cmp(&inner.lanes[b].vtime)
+                    .unwrap()
+            })
             .expect("total > 0 implies a non-empty lane");
-        inner.global_v = inner.global_v.max(inner.vtime[tenant]);
-        let k = inner.lanes[tenant].len().min(max_batch.max(1));
-        let batch: Vec<T> = inner.lanes[tenant].drain(..k).collect();
+        inner.global_v = inner.global_v.max(inner.lanes[tenant].vtime);
+        let k = inner.lanes[tenant].items.len().min(max_batch.max(1));
+        let batch: Vec<T> = inner.lanes[tenant].items.drain(..k).collect();
         inner.total -= k;
-        inner.vtime[tenant] += k as f64 / self.weights[tenant];
+        let weight = inner.lanes[tenant].weight;
+        inner.lanes[tenant].vtime += k as f64 / weight;
         (tenant, batch)
+    }
+
+    /// Runs `f` while holding the queue lock, so the closure cannot
+    /// interleave with any push, pop, add, or remove. Used for the final
+    /// shutdown reconciliation read ([`TenantServer::shutdown`]).
+    pub fn quiesced<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _guard = self.inner.lock().unwrap();
+        f()
     }
 
     /// Closes the queue: subsequent pushes are rejected, blocked consumers
@@ -310,12 +378,12 @@ struct SloSeen {
     shed: u64,
 }
 
-struct TenantShard {
-    name: String,
-    registry: Arc<ModelRegistry>,
+pub(crate) struct TenantShard {
+    pub(crate) name: String,
+    pub(crate) registry: Arc<ModelRegistry>,
     budget: TenantBudget,
     admission: Mutex<AdmissionController>,
-    stats: Arc<ServeStats>,
+    pub(crate) stats: Arc<ServeStats>,
     monitor: Mutex<DriftMonitor>,
     slo_seen: Mutex<SloSeen>,
 }
@@ -347,55 +415,94 @@ pub struct HealReport {
     pub version: u64,
 }
 
+/// What [`TenantServer::remove_tenant`] hands back: the tenant's registry
+/// (so models survive the eviction) and its final serving ledger.
+pub struct RemovedTenant {
+    /// The removed tenant's name.
+    pub name: String,
+    /// The tenant's model registry, snapshotted at removal — the caller
+    /// can re-attach it later via [`TenantServer::add_tenant`].
+    pub registry: Arc<ModelRegistry>,
+    /// Final stats snapshot, taken after the drained backlog was served.
+    pub stats: ServeStatsSnapshot,
+    /// Requests that were queued in the tenant's lane at removal and were
+    /// served (or deadline-refused) during the drain.
+    pub drained: usize,
+}
+
+/// Per-tenant final ledgers from [`TenantServer::shutdown`], read under
+/// the queue lock after every worker was joined.
+pub struct ShutdownReport {
+    /// `(tenant name, final stats)` for every shard ever attached,
+    /// including removed ones, in tenant-index order.
+    pub tenants: Vec<(String, ServeStatsSnapshot)>,
+}
+
+impl ShutdownReport {
+    /// True when every tenant's ledger balances exactly:
+    /// `accepted == served + deadline_missed` (nothing admitted was lost,
+    /// nothing was double-counted).
+    pub fn reconciles(&self) -> bool {
+        self.tenants
+            .iter()
+            .all(|(_, s)| s.accepted() == s.served + s.deadline_missed)
+    }
+}
+
 /// A tenant-isolated prediction service: per-tenant registries, budgets,
 /// SLO accounting, and drift monitors behind one weighted-fair worker
-/// pool. Dropping the server closes the queue, drains what was admitted,
-/// and joins all workers.
+/// pool. The tenant set is dynamic ([`TenantServer::add_tenant`] /
+/// [`TenantServer::remove_tenant`]). Dropping the server closes the
+/// queue, drains what was admitted, and joins all workers; call
+/// [`TenantServer::shutdown`] first to get the reconciliation report.
 pub struct TenantServer {
-    shards: Vec<Arc<TenantShard>>,
-    by_name: HashMap<String, usize>,
+    /// Shard slots are append-only: a removed tenant's slot stays (its
+    /// name is dropped from `by_name`), so a worker holding a popped
+    /// batch for lane `i` can always resolve shard `i`.
+    shards: Arc<RwLock<Vec<Arc<TenantShard>>>>,
+    by_name: RwLock<HashMap<String, usize>>,
     queue: Arc<WeightedFairQueue<Job>>,
     global_admission: Mutex<AdmissionController>,
     tier_costs: TierCosts,
+    monitor_config: MonitorConfig,
     started: Instant,
     next_id: AtomicU64,
-    workers: Vec<JoinHandle<()>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl TenantServer {
     /// Starts a server over the given tenant shards. Tenant names must be
-    /// unique; the set is fixed for the server's lifetime (bulkheads are
-    /// structural, not dynamic).
+    /// unique (duplicates panic). Starting with an empty tenant set is
+    /// allowed — tenants can be attached later with
+    /// [`TenantServer::add_tenant`].
     pub fn start(tenants: Vec<TenantSpec>, config: TenantServeConfig) -> TenantServer {
-        assert!(!tenants.is_empty(), "need at least one tenant");
         let worker_count = ml::par::resolve_workers(config.workers);
-        let mut queue = WeightedFairQueue::new(config.global_capacity);
-        let mut shards = Vec::with_capacity(tenants.len());
-        let mut by_name = HashMap::new();
+        let queue = Arc::new(WeightedFairQueue::new(config.global_capacity));
+        let shards: Arc<RwLock<Vec<Arc<TenantShard>>>> = Arc::new(RwLock::new(Vec::new()));
+        let server = TenantServer {
+            shards: Arc::clone(&shards),
+            by_name: RwLock::new(HashMap::new()),
+            queue: Arc::clone(&queue),
+            global_admission: Mutex::new(AdmissionController::new(
+                config.global_rate_limit,
+                usize::MAX >> 1,
+            )),
+            tier_costs: config.tier_costs,
+            monitor_config: config.monitor.clone(),
+            started: Instant::now(),
+            next_id: AtomicU64::new(0),
+            workers: Mutex::new(Vec::new()),
+        };
         for spec in tenants {
-            let idx = queue.add_tenant(spec.budget.weight, spec.budget.queue_quota);
-            let prev = by_name.insert(spec.name.clone(), idx);
-            assert!(prev.is_none(), "duplicate tenant name {:?}", spec.name);
-            let rate_limit = spec.budget.rate_limit;
-            shards.push(Arc::new(TenantShard {
-                name: spec.name,
-                registry: spec.registry,
-                budget: spec.budget,
-                // The lane quota already bounds queued depth exactly (and
-                // race-free, inside the queue lock); the per-tenant
-                // controller polices only the rate budget.
-                admission: Mutex::new(AdmissionController::new(rate_limit, usize::MAX >> 1)),
-                stats: Arc::new(ServeStats::new()),
-                monitor: Mutex::new(DriftMonitor::new(config.monitor.clone())),
-                slo_seen: Mutex::new(SloSeen::default()),
-            }));
+            if let Err(e) = server.add_tenant(spec) {
+                panic!("tenant set rejected at start: {e}");
+            }
         }
-        let queue = Arc::new(queue);
         let max_batch = config.max_batch.max(1);
-        let workers = (0..worker_count)
+        let handles = (0..worker_count)
             .map(|_| {
                 let queue = Arc::clone(&queue);
-                let shards = shards.clone();
+                let shards = Arc::clone(&shards);
                 let faults = config.faults.clone();
                 let tier_costs = config.tier_costs;
                 std::thread::spawn(move || {
@@ -403,34 +510,99 @@ impl TenantServer {
                 })
             })
             .collect();
-        TenantServer {
-            shards,
-            by_name,
-            queue,
-            global_admission: Mutex::new(AdmissionController::new(
-                config.global_rate_limit,
-                usize::MAX >> 1,
-            )),
-            tier_costs: config.tier_costs,
-            started: Instant::now(),
-            next_id: AtomicU64::new(0),
-            workers,
-        }
+        *server.workers.lock().unwrap() = handles;
+        server
     }
 
-    /// The tenant names this server shards by, in tenant-index order.
-    pub fn tenant_names(&self) -> Vec<&str> {
-        self.shards.iter().map(|s| s.name.as_str()).collect()
+    /// Attaches a new tenant under load: opens a weighted-fair lane (it
+    /// joins at the current virtual time) and registers the shard.
+    /// Returns the tenant's lane index, or an error when the name is
+    /// already taken.
+    pub fn add_tenant(&self, spec: TenantSpec) -> Result<usize, QppError> {
+        // Held across lane + shard append so the lane index and the shard
+        // slot cannot be torn apart by a concurrent add.
+        let mut by_name = self.by_name.write().unwrap();
+        if by_name.contains_key(&spec.name) {
+            return Err(QppError::Internal("duplicate tenant name"));
+        }
+        let idx = self.queue.add_tenant(spec.budget.weight, spec.budget.queue_quota);
+        let rate_limit = spec.budget.rate_limit;
+        let shard = Arc::new(TenantShard {
+            name: spec.name.clone(),
+            registry: spec.registry,
+            budget: spec.budget,
+            // The lane quota already bounds queued depth exactly (and
+            // race-free, inside the queue lock); the per-tenant
+            // controller polices only the rate budget.
+            admission: Mutex::new(AdmissionController::new(rate_limit, usize::MAX >> 1)),
+            stats: Arc::new(ServeStats::new()),
+            monitor: Mutex::new(DriftMonitor::new(self.monitor_config.clone())),
+            slo_seen: Mutex::new(SloSeen::default()),
+        });
+        self.shards.write().unwrap().push(shard);
+        debug_assert_eq!(self.shards.read().unwrap().len(), idx + 1);
+        by_name.insert(spec.name, idx);
+        Ok(idx)
+    }
+
+    /// Detaches a tenant under load. New submissions fail immediately
+    /// (`unknown tenant`); requests already queued in the tenant's lane
+    /// are drained and served on the *calling* thread (their replies
+    /// still arrive, and the ledger stays balanced); the tenant's
+    /// registry and final stats are handed back. Other tenants' lanes,
+    /// budgets, and latencies are untouched.
+    pub fn remove_tenant(&self, tenant: &str) -> Result<RemovedTenant, QppError> {
+        let idx = self
+            .by_name
+            .write()
+            .unwrap()
+            .remove(tenant)
+            .ok_or(QppError::Internal("unknown tenant"))?;
+        let shard = Arc::clone(&self.shards.read().unwrap()[idx]);
+        let drained = self.queue.remove_tenant(idx);
+        let n = drained.len();
+        if n > 0 {
+            // Serve the backlog here rather than dropping it: every job
+            // was already counted `submitted`, so dropping would leak
+            // accepted-but-unaccounted requests. A worker that popped a
+            // batch from this lane just before the drain still resolves
+            // the shard (slots are never deleted), so there is no race.
+            shard.stats.record_batch(n);
+            let predictor = shard.registry.current();
+            let cache = Arc::clone(shard.registry.pred_cache());
+            serve_batch(drained, &shard.stats, &predictor, &cache, self.tier_costs);
+        }
+        Ok(RemovedTenant {
+            name: shard.name.clone(),
+            registry: Arc::clone(&shard.registry),
+            stats: shard.stats.snapshot(),
+            drained: n,
+        })
+    }
+
+    /// The live tenant names (removed tenants excluded), in tenant-index
+    /// order.
+    pub fn tenant_names(&self) -> Vec<String> {
+        let by_name = self.by_name.read().unwrap();
+        let mut named: Vec<(usize, &String)> = by_name.iter().map(|(n, &i)| (i, n)).collect();
+        named.sort_by_key(|&(i, _)| i);
+        named.into_iter().map(|(_, n)| n.clone()).collect()
     }
 
     /// One tenant's model registry shard.
-    pub fn registry(&self, tenant: &str) -> Result<&Arc<ModelRegistry>, QppError> {
-        Ok(&self.shard(tenant)?.registry)
+    pub fn registry(&self, tenant: &str) -> Result<Arc<ModelRegistry>, QppError> {
+        Ok(Arc::clone(&self.shard(tenant)?.registry))
     }
 
     /// One tenant's serving statistics snapshot.
     pub fn stats(&self, tenant: &str) -> Result<ServeStatsSnapshot, QppError> {
         Ok(self.shard(tenant)?.stats.snapshot())
+    }
+
+    /// One tenant's live stats handle (for recorders outside this module,
+    /// like the healer's supervision counters).
+    pub(crate) fn stats_handle(&self, tenant: &str) -> Result<Arc<ServeStats>, QppError> {
+        Ok(Arc::clone(&self.shard(tenant)?.stats))
     }
 
     /// Submits a prediction request on behalf of `tenant`. Admission runs
@@ -449,8 +621,7 @@ impl TenantServer {
         method: Method,
         deadline: Option<Duration>,
     ) -> Result<PendingPrediction, QppError> {
-        let idx = self.index(tenant)?;
-        let shard = &self.shards[idx];
+        let (idx, shard) = self.lookup(tenant)?;
         shard.stats.record_submitted();
         let now = Instant::now();
         let now_secs = self.started.elapsed().as_secs_f64();
@@ -502,7 +673,20 @@ impl TenantServer {
                 shard.stats.record_shed(ShedReason::QueueFull);
                 Err(QppError::Overloaded { queue_depth: depth })
             }
+            Err(TenantPushError::Removed(_)) => {
+                // The tenant raced a remove between the name lookup and
+                // the push. Recorded as shutdown-shed so this shard's
+                // ledger still balances (`submitted` was already counted).
+                shard.stats.record_shed(ShedReason::Shutdown);
+                Err(QppError::Internal(
+                    "tenant was removed while the request was in flight",
+                ))
+            }
             Err(TenantPushError::Closed(_)) => {
+                // Without this recording, the submission above would leak
+                // as forever-pending and shutdown reconciliation could
+                // never balance (`accepted` would exceed every outcome).
+                shard.stats.record_shed(ShedReason::Shutdown);
                 Err(QppError::Internal("tenant server is shutting down"))
             }
         }
@@ -533,13 +717,14 @@ impl TenantServer {
     ) -> Result<ModelHealth, QppError> {
         let shard = self.shard(tenant)?;
         let predictor = shard.registry.current();
-        Ok(shard.monitor.lock().unwrap().ingest(
+        let health = shard.monitor.lock().unwrap().ingest(
             &predictor,
             tier,
             predicted,
             observed,
             op_types,
-        ))
+        );
+        Ok(health)
     }
 
     /// Folds the tenant's SLO counters accumulated since the previous tick
@@ -596,7 +781,8 @@ impl TenantServer {
     /// held-out error by more than `rollback_tolerance` (relative), the
     /// promotion is rolled back. On a validated promotion the tenant's
     /// monitor and circuit breakers are reset so the new model serves at
-    /// full accuracy. Other tenants' registries are never touched.
+    /// full accuracy. Other tenants' registries are never touched. Every
+    /// round's action lands in the tenant's [`ServeStats`].
     pub fn heal(
         &self,
         tenant: &str,
@@ -605,6 +791,19 @@ impl TenantServer {
         rollback_tolerance: f64,
     ) -> Result<HealReport, QppError> {
         let shard = self.shard(tenant)?;
+        let result = Self::heal_shard(&shard, recent, cfg, rollback_tolerance);
+        if let Ok(report) = &result {
+            shard.stats.record_heal(&report.action);
+        }
+        result
+    }
+
+    fn heal_shard(
+        shard: &TenantShard,
+        recent: &[&qpp::ExecutedQuery],
+        cfg: &RetrainConfig,
+        rollback_tolerance: f64,
+    ) -> Result<HealReport, QppError> {
         if !shard.monitor.lock().unwrap().any_quarantined() {
             return Ok(HealReport {
                 action: HealAction::NotNeeded,
@@ -644,43 +843,70 @@ impl TenantServer {
         })
     }
 
-    fn index(&self, tenant: &str) -> Result<usize, QppError> {
-        self.by_name
+    fn lookup(&self, tenant: &str) -> Result<(usize, Arc<TenantShard>), QppError> {
+        let idx = self
+            .by_name
+            .read()
+            .unwrap()
             .get(tenant)
             .copied()
-            .ok_or(QppError::Internal("unknown tenant"))
+            .ok_or(QppError::Internal("unknown tenant"))?;
+        let shard = Arc::clone(&self.shards.read().unwrap()[idx]);
+        Ok((idx, shard))
     }
 
-    fn shard(&self, tenant: &str) -> Result<&Arc<TenantShard>, QppError> {
-        Ok(&self.shards[self.index(tenant)?])
+    fn shard(&self, tenant: &str) -> Result<Arc<TenantShard>, QppError> {
+        Ok(self.lookup(tenant)?.1)
     }
 
     /// The per-tier service-cost estimates this server degrades against.
     pub fn tier_costs(&self) -> &TierCosts {
         &self.tier_costs
     }
-}
 
-impl Drop for TenantServer {
-    fn drop(&mut self) {
+    /// Graceful shutdown, idempotent: closes the queue (new submissions
+    /// are refused and recorded as shutdown-shed), lets the workers drain
+    /// every admitted request, joins them, and only then takes the final
+    /// per-tenant reconciliation read — **under the queue lock**, so the
+    /// read cannot interleave with a straggling push or pop. After this
+    /// returns, every tenant's ledger balances:
+    /// `accepted == served + deadline_missed`.
+    pub fn shutdown(&self) -> ShutdownReport {
         self.queue.close();
-        for handle in self.workers.drain(..) {
+        let handles: Vec<JoinHandle<()>> = self.workers.lock().unwrap().drain(..).collect();
+        for handle in handles {
             if let Err(p) = handle.join() {
                 std::panic::resume_unwind(p);
             }
         }
+        let shards = self.shards.read().unwrap().clone();
+        let tenants = self.queue.quiesced(|| {
+            shards
+                .iter()
+                .map(|s| (s.name.clone(), s.stats.snapshot()))
+                .collect()
+        });
+        ShutdownReport { tenants }
+    }
+}
+
+impl Drop for TenantServer {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
 fn tenant_worker_loop(
     queue: &WeightedFairQueue<Job>,
-    shards: &[Arc<TenantShard>],
+    shards: &RwLock<Vec<Arc<TenantShard>>>,
     faults: &ServeFaultPlan,
     tier_costs: TierCosts,
     max_batch: usize,
 ) {
     while let Some((tenant, batch)) = queue.pop_blocking_batch(max_batch) {
-        let shard = &shards[tenant];
+        // Jobs only enter lane `i` after shard `i` is registered, and
+        // slots are never deleted, so the index always resolves.
+        let shard = Arc::clone(&shards.read().unwrap()[tenant]);
         shard.stats.record_batch(batch.len());
 
         let outcome = faults.decide(batch[0].id);

@@ -1,0 +1,289 @@
+//! Property tests for the `QPPWIRE-v1` codec (DESIGN.md §11): round-trip
+//! identity for every frame kind — requests via the canonical-bytes
+//! identity (`encode(decode(bytes)) == bytes`), responses and error
+//! frames via full value equality — and the decode-never-panics
+//! guarantee over arbitrary byte strings and single-byte mutations of
+//! valid frames. Seeded plain-`#[test]` twins of each property run even
+//! where the proptest harness is stubbed out.
+
+// Offline builds may substitute an inert `proptest` whose macro bodies
+// compile away, which strands these imports and helpers as "unused".
+#![allow(dead_code, unused_imports)]
+
+use engine::catalog::Catalog;
+use engine::faults::ExecError;
+use engine::planner::Planner;
+use engine::recost::recost_truth;
+use engine::sim::Simulator;
+use ml::MlError;
+use proptest::prelude::*;
+use qpp::{ExecutedQuery, Method, PlanOrdering, Prediction, QppError, ALL_TIERS};
+use rand::prelude::*;
+use serve::{ErrorFrame, Frame, Request, Response, DEFAULT_MAX_FRAME};
+use std::sync::OnceLock;
+use tpch::templates;
+
+/// A small pool of real executed queries, one per supported template,
+/// built once: request payload variety comes from the pool index and the
+/// proptest-drawn envelope fields layered on top.
+fn query_pool() -> &'static Vec<ExecutedQuery> {
+    static POOL: OnceLock<Vec<ExecutedQuery>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let catalog = Catalog::new(0.1, 1);
+        let planner = Planner::new(&catalog);
+        templates::ALL_TEMPLATES
+            .iter()
+            .map(|&template| {
+                let mut rng = StdRng::seed_from_u64(41 + template as u64);
+                let plan = planner.plan(&templates::instantiate(template, 0.1, &mut rng));
+                let trace = Simulator::new().execute(&plan, 0.1, template as u64);
+                let truth_costs = recost_truth(&plan, 4096.0);
+                ExecutedQuery {
+                    template,
+                    plan,
+                    truth_costs,
+                    trace,
+                }
+            })
+            .collect()
+    })
+}
+
+fn method_from_index(i: usize) -> Method {
+    match i % 5 {
+        0 => Method::PlanLevel,
+        1 => Method::OperatorLevel,
+        2 => Method::Hybrid(PlanOrdering::SizeBased),
+        3 => Method::Hybrid(PlanOrdering::FrequencyBased),
+        _ => Method::Hybrid(PlanOrdering::ErrorBased),
+    }
+}
+
+/// One representative of every `QppError` variant, parameterized so the
+/// payload fields vary across cases.
+fn error_from(selector: usize, n: u64, x: f64, s: &str) -> QppError {
+    match selector % 15 {
+        0 => QppError::Ml(MlError::ShapeMismatch {
+            expected: n as usize,
+            got: (n / 3) as usize,
+        }),
+        1 => QppError::Ml(MlError::EmptyDataset),
+        2 => QppError::Ml(MlError::NotPositiveDefinite),
+        3 => QppError::Ml(MlError::InvalidParameter("C must be positive")),
+        4 => QppError::Ml(MlError::NonFiniteData),
+        5 => QppError::Ml(MlError::DidNotConverge {
+            iterations: n as usize,
+        }),
+        6 => QppError::Exec(ExecError::Aborted { progress: x }),
+        7 => QppError::Exec(ExecError::Timeout {
+            budget_secs: x,
+            needed_secs: x * 4.0,
+        }),
+        8 => QppError::NoTrainingData,
+        9 => QppError::InvalidSnapshot(s.to_string()),
+        10 => QppError::Io(s.to_string()),
+        11 => QppError::Internal("unknown tenant"),
+        12 => QppError::Overloaded {
+            queue_depth: n as usize,
+        },
+        13 => QppError::TenantOverloaded {
+            tenant: s.to_string(),
+        },
+        _ => QppError::DeadlineExceeded { budget_secs: x },
+    }
+}
+
+fn request_roundtrips(id: u64, tenant: &str, method_i: usize, deadline: Option<u64>, pool_i: usize) {
+    let pool = query_pool();
+    let req = Request {
+        id,
+        tenant: tenant.to_string(),
+        method: method_from_index(method_i),
+        deadline_micros: deadline,
+        query: pool[pool_i % pool.len()].clone(),
+    };
+    let bytes = Frame::Request(req).encode();
+    let back = Frame::decode(&bytes, DEFAULT_MAX_FRAME).expect("valid request frame decodes");
+    assert!(matches!(back, Frame::Request(_)));
+    // One canonical form: re-encoding the decoded frame reproduces the
+    // input bytes exactly, which pins every field (floats bit-for-bit).
+    assert_eq!(back.encode(), bytes);
+}
+
+fn response_roundtrips(id: u64, value_bits: u64, tier_i: usize, degraded: bool) {
+    let resp = Response {
+        id,
+        prediction: Prediction {
+            // From raw bits so NaNs and infinities are drawn too; the
+            // wire carries bits, so even NaN payloads must survive.
+            value: f64::from_bits(value_bits),
+            method_used: ALL_TIERS[tier_i % ALL_TIERS.len()],
+            degraded,
+        },
+    };
+    let bytes = Frame::Response(resp).encode();
+    match Frame::decode(&bytes, DEFAULT_MAX_FRAME).expect("valid response frame decodes") {
+        Frame::Response(back) => {
+            assert_eq!(back.id, resp.id);
+            assert_eq!(
+                back.prediction.value.to_bits(),
+                resp.prediction.value.to_bits()
+            );
+            assert_eq!(back.prediction.method_used, resp.prediction.method_used);
+            assert_eq!(back.prediction.degraded, resp.prediction.degraded);
+        }
+        other => panic!("wrong frame kind {other:?}"),
+    }
+}
+
+fn error_roundtrips(id: u64, err: QppError) {
+    let frame = Frame::Error(ErrorFrame {
+        id,
+        error: err.clone(),
+    });
+    let bytes = frame.encode();
+    match Frame::decode(&bytes, DEFAULT_MAX_FRAME).expect("valid error frame decodes") {
+        Frame::Error(back) => {
+            assert_eq!(back.id, id);
+            assert_eq!(back.error, err);
+            assert_eq!(back.error.wire_code(), err.wire_code());
+        }
+        other => panic!("wrong frame kind {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every request frame round-trips to its canonical bytes, across
+    /// all templates, methods, deadlines, ids, and tenant names.
+    #[test]
+    fn request_frames_round_trip(
+        id in any::<u64>(),
+        tenant in "[a-z][a-z0-9_-]{0,24}",
+        method_i in 0usize..5,
+        deadline in proptest::option::of(any::<u64>()),
+        pool_i in any::<usize>(),
+    ) {
+        request_roundtrips(id, &tenant, method_i, deadline, pool_i);
+    }
+
+    /// Every response frame round-trips with bit-exact floats — the
+    /// value is drawn from raw bits, so NaNs and infinities are covered.
+    #[test]
+    fn response_frames_round_trip(
+        id in any::<u64>(),
+        value_bits in any::<u64>(),
+        tier_i in any::<usize>(),
+        degraded in any::<bool>(),
+    ) {
+        response_roundtrips(id, value_bits, tier_i, degraded);
+    }
+
+    /// Every error variant round-trips variant-exactly with its stable
+    /// wire code, across varying payload fields.
+    #[test]
+    fn error_frames_round_trip(
+        id in any::<u64>(),
+        selector in any::<usize>(),
+        n in 0u64..100_000,
+        x in 0.0f64..1e6,
+        s in "[ -~]{0,48}",
+    ) {
+        error_roundtrips(id, error_from(selector, n, x, &s));
+    }
+
+    /// `Frame::decode` never panics on arbitrary byte strings: every
+    /// outcome is `Ok` or a typed `DecodeError`.
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let _ = Frame::decode(&bytes, DEFAULT_MAX_FRAME);
+    }
+
+    /// Nor on single-byte corruptions of valid frames — the adversarial
+    /// neighborhood a seeded chaos run actually visits.
+    #[test]
+    fn decode_never_panics_on_mutated_valid_frames(
+        id in any::<u64>(),
+        pool_i in any::<usize>(),
+        offset in any::<usize>(),
+        mask in 1u8..=255,
+    ) {
+        let pool = query_pool();
+        let req = Request {
+            id,
+            tenant: "mutant".to_string(),
+            method: Method::PlanLevel,
+            deadline_micros: Some(1_000),
+            query: pool[pool_i % pool.len()].clone(),
+        };
+        let mut bytes = Frame::Request(req).encode();
+        let at = offset % bytes.len();
+        bytes[at] ^= mask;
+        let _ = Frame::decode(&bytes, DEFAULT_MAX_FRAME);
+    }
+}
+
+/// Seeded twin of the round-trip properties: exercises every template,
+/// every method, every tier, and every error variant without the
+/// proptest harness.
+#[test]
+fn seeded_round_trips_cover_every_frame_kind() {
+    let pool = query_pool();
+    let mut rng = StdRng::seed_from_u64(0xC0DEC);
+    for i in 0..pool.len() * 3 {
+        let deadline = if i % 3 == 0 { None } else { Some(rng.gen()) };
+        request_roundtrips(rng.gen(), &format!("tenant-{i}"), i, deadline, i);
+    }
+    for i in 0..64 {
+        response_roundtrips(rng.gen(), rng.gen(), i, i % 2 == 0);
+    }
+    for i in 0..30 {
+        error_roundtrips(
+            rng.gen(),
+            error_from(i, rng.gen_range(0..100_000), rng.gen_range(0.0..1e6), "peer"),
+        );
+    }
+}
+
+/// Seeded twin of the never-panics properties: 10k arbitrary byte
+/// strings (length-skewed toward header-sized prefixes) and 2k
+/// single-byte mutations of a valid request frame.
+#[test]
+fn seeded_fuzz_decode_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0xF0_2211);
+    for _ in 0..10_000 {
+        let len = if rng.gen_bool(0.5) {
+            rng.gen_range(0..32)
+        } else {
+            rng.gen_range(0..2048)
+        };
+        let mut bytes = vec![0u8; len];
+        for b in &mut bytes {
+            *b = rng.gen_range(0u8..=255);
+        }
+        // Half the cases start with valid magic so decode gets past the
+        // first gate and into the payload parsers.
+        if rng.gen_bool(0.5) && len >= 4 {
+            bytes[..4].copy_from_slice(b"QPW1");
+        }
+        let _ = Frame::decode(&bytes, DEFAULT_MAX_FRAME);
+    }
+
+    let valid = Frame::Request(Request {
+        id: 1,
+        tenant: "fuzz".to_string(),
+        method: Method::Hybrid(PlanOrdering::ErrorBased),
+        deadline_micros: Some(250_000),
+        query: query_pool()[0].clone(),
+    })
+    .encode();
+    for _ in 0..2_000 {
+        let mut bytes = valid.clone();
+        let at = rng.gen_range(0..bytes.len());
+        bytes[at] ^= rng.gen_range(1u8..=255);
+        let _ = Frame::decode(&bytes, DEFAULT_MAX_FRAME);
+    }
+}

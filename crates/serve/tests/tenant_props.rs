@@ -68,7 +68,7 @@ proptest! {
     ) {
         let tenants = weights.len();
         let fill = pops * max_batch + 1; // no lane can drain below a full batch
-        let mut q = WeightedFairQueue::new(fill * tenants);
+        let q = WeightedFairQueue::new(fill * tenants);
         for &w in &weights {
             q.add_tenant(w, fill);
         }
@@ -116,7 +116,7 @@ proptest! {
         extra in 1usize..16,
         quota_b in 1usize..8,
     ) {
-        let mut q = WeightedFairQueue::new(1024);
+        let q = WeightedFairQueue::new(1024);
         let a = q.add_tenant(1.0, quota_a);
         let b = q.add_tenant(1.0, quota_b);
         for i in 0..quota_a {
@@ -158,7 +158,7 @@ proptest! {
         // Global capacity deliberately below the sum of quotas so the
         // GlobalFull path is reachable too.
         let global_cap = (quota * tenants).saturating_sub(quota / 2).max(1);
-        let mut q = WeightedFairQueue::new(global_cap);
+        let q = WeightedFairQueue::new(global_cap);
         let mut admission = Vec::new();
         for _ in 0..tenants {
             q.add_tenant(1.0, quota);
@@ -180,7 +180,7 @@ proptest! {
                     Ok(_) => {}
                     Err(TenantPushError::TenantFull(_, _))
                     | Err(TenantPushError::GlobalFull(_, _)) => shed[a.tenant] += 1,
-                    Err(TenantPushError::Closed(_)) => {
+                    Err(TenantPushError::Removed(_)) | Err(TenantPushError::Closed(_)) => {
                         prop_assert!(false, "queue closed mid-run");
                     }
                 }
@@ -213,7 +213,7 @@ proptest! {
 /// so it cannot monopolize the workers with banked vtime.
 #[test]
 fn waking_lane_gets_no_banked_credit() {
-    let mut q = WeightedFairQueue::new(1024);
+    let q = WeightedFairQueue::new(1024);
     let a = q.add_tenant(1.0, 512);
     let b = q.add_tenant(1.0, 512);
     // Lane a does a lot of work while b is idle.
@@ -241,10 +241,39 @@ fn waking_lane_gets_no_banked_credit() {
     );
 }
 
+/// Removing a lane under load hands back exactly its FIFO backlog,
+/// refuses further pushes with `Removed`, and never disturbs the other
+/// lanes' contents or quotas.
+#[test]
+fn remove_tenant_drains_its_lane_and_spares_the_rest() {
+    let q = WeightedFairQueue::new(1024);
+    let a = q.add_tenant(1.0, 64);
+    let b = q.add_tenant(1.0, 64);
+    for i in 0..10 {
+        q.try_push(a, i).unwrap();
+        q.try_push(b, 100 + i).unwrap();
+    }
+    let drained = q.remove_tenant(a);
+    assert_eq!(drained, (0..10).collect::<Vec<_>>(), "FIFO drain");
+    assert_eq!(q.tenant_len(a), 0);
+    assert_eq!(q.tenant_len(b), 10, "quiet lane untouched");
+    assert_eq!(q.len(), 10);
+    assert!(matches!(q.try_push(a, 99), Err(TenantPushError::Removed(99))));
+    // The tombstoned lane is never selected again; b drains normally.
+    let (t, batch) = q.try_pop_batch(64).unwrap();
+    assert_eq!(t, b);
+    assert_eq!(batch.len(), 10);
+    // A lane added after the removal gets a fresh index, not a's slot.
+    let c = q.add_tenant(1.0, 8);
+    assert_eq!(c, 2);
+    q.try_push(c, 7).unwrap();
+    assert_eq!(q.try_pop_batch(8), Some((c, vec![7])));
+}
+
 /// Closing the queue drains what was admitted, then reports shutdown.
 #[test]
 fn close_drains_then_signals_shutdown() {
-    let mut q = WeightedFairQueue::new(16);
+    let q = WeightedFairQueue::new(16);
     let a = q.add_tenant(1.0, 16);
     q.try_push(a, 1).unwrap();
     q.try_push(a, 2).unwrap();

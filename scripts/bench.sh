@@ -16,6 +16,9 @@
 #   BENCH_tenant.json tenant_load — multi-tenant bulkheads: noisy-neighbor
 #                     isolation, weighted-fair dequeue, SLO -> drift
 #                     healing loop
+#   BENCH_net.json    net_load — the TCP front door: clean wire
+#                     throughput/latency, seeded wire chaos, graceful
+#                     drain reconciliation
 #
 # (BENCH_pr7.json is the frozen PR-7 artifact, kept for history; it is
 # schema-checked but no longer regenerated.)
@@ -44,5 +47,8 @@ timeout 600 ./target/release/drift_loop BENCH_drift.json
 echo "==> tenant_load BENCH_tenant.json"
 timeout 600 ./target/release/tenant_load BENCH_tenant.json
 
+echo "==> net_load BENCH_net.json"
+timeout 600 ./target/release/net_load BENCH_net.json
+
 echo "==> bench_compare --check-schema"
-./target/release/bench_compare --check-schema BENCH_pr8.json BENCH_pr7.json BENCH_serve.json BENCH_drift.json BENCH_tenant.json
+./target/release/bench_compare --check-schema BENCH_pr8.json BENCH_pr7.json BENCH_serve.json BENCH_drift.json BENCH_tenant.json BENCH_net.json

@@ -57,6 +57,16 @@ timeout 300 cargo test -q -p qpp-serve
 echo "==> tenant noisy-neighbor stress gate (bounded time)"
 timeout 60 cargo test -q --test tenant_isolation
 
+# Network-chaos gate: seeded wire faults (partial writes, mid-frame
+# disconnects, corrupted frames, slowloris stalls) against the TCP front
+# door must leave the quiet tenant bit-identical, kill no worker, and
+# reconcile the drain ledger exactly. Seeded and bounded: a hang (stuck
+# acceptor, un-evicted slow client, lost drain count) is a CI failure.
+echo "==> network chaos gate (bounded time)"
+timeout 60 cargo test -q --test net_chaos
+timeout 60 cargo test -q --test healer_supervision
+timeout 60 cargo test -q -p qpp-serve --test codec_props
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -70,7 +80,7 @@ cargo bench --workspace --no-run
 # absolute rows/s stay informational.
 echo "==> BENCH-v1 schema check"
 cargo build --release -p qpp-bench
-./target/release/bench_compare --check-schema BENCH_pr8.json BENCH_pr7.json BENCH_serve.json BENCH_drift.json BENCH_tenant.json
+./target/release/bench_compare --check-schema BENCH_pr8.json BENCH_pr7.json BENCH_serve.json BENCH_drift.json BENCH_tenant.json BENCH_net.json
 
 # One fresh hot-path run feeds three self-normalizing ratio gates: the
 # inference kernel, the blocked Gram build, and the end-to-end
